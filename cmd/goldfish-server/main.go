@@ -1,0 +1,125 @@
+// Command goldfish-server runs a federation server over TCP. Clients
+// (cmd/goldfish-client) connect, receive the global model each round, train
+// locally and upload updates; the server aggregates with FedAvg or the
+// paper's adaptive-weight scheme and finally prints the global model's test
+// accuracy.
+//
+// Usage:
+//
+//	goldfish-server -addr :7070 -clients 3 -rounds 8 -dataset mnist -scale tiny
+//	goldfish-server -addr :7070 -clients 3 -agg adaptive
+//
+// The dataset/scale/seed flags must match the clients' so both sides build
+// identical architectures and evaluation data.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"goldfish"
+	"goldfish/internal/fed"
+	"goldfish/internal/metrics"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		addr    = flag.String("addr", ":7070", "listen address")
+		clients = flag.Int("clients", 2, "number of clients to wait for")
+		rounds  = flag.Int("rounds", 0, "global rounds (0 = preset default)")
+		dataset = flag.String("dataset", "mnist", "dataset preset: mnist|fmnist|cifar10|cifar100")
+		scale   = flag.String("scale", "tiny", "experiment scale: tiny|small|medium|paper")
+		seed    = flag.Int64("seed", 1, "random seed (must match clients)")
+		agg     = flag.String("agg", "fedavg", "aggregator: fedavg|adaptive")
+	)
+	flag.Parse()
+
+	p, err := goldfish.NewPreset(*dataset, goldfish.Scale(*scale), *seed)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "goldfish-server: %v\n", err)
+		return 2
+	}
+	if *rounds <= 0 {
+		*rounds = p.Rounds
+	}
+	_, test, err := p.Generate()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "goldfish-server: %v\n", err)
+		return 1
+	}
+	initNet, err := goldfish.BuildModel(p.Model)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "goldfish-server: %v\n", err)
+		return 1
+	}
+
+	cfg := fed.ServerConfig{
+		Rounds:     *rounds,
+		NumClients: *clients,
+		Initial:    initNet.StateVector(),
+		OnRound: func(ri fed.RoundInfo) {
+			if err := initNet.SetStateVector(ri.Global); err != nil {
+				return
+			}
+			acc := metrics.Accuracy(initNet, test, 0)
+			fmt.Printf("round %d: %d updates, global accuracy %.2f%%\n",
+				ri.Round, len(ri.Updates), acc*100)
+		},
+	}
+	switch *agg {
+	case "fedavg":
+		cfg.Aggregator = fed.FedAvg{}
+	case "adaptive":
+		cfg.Aggregator = fed.AdaptiveWeight{}
+		eval, err := goldfish.BuildModel(p.Model)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "goldfish-server: %v\n", err)
+			return 1
+		}
+		cfg.Scorer = fed.ScorerFunc(func(params []float64) (float64, error) {
+			if err := eval.SetStateVector(params); err != nil {
+				return 0, err
+			}
+			return metrics.MSE(eval, test, 0), nil
+		})
+	default:
+		fmt.Fprintf(os.Stderr, "goldfish-server: unknown aggregator %q\n", *agg)
+		return 2
+	}
+
+	srv, err := fed.NewServer(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "goldfish-server: %v\n", err)
+		return 2
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "goldfish-server: %v\n", err)
+		return 1
+	}
+	fmt.Printf("goldfish-server: listening on %s, waiting for %d clients (%s/%s, %d rounds, %s)\n",
+		ln.Addr(), *clients, *dataset, *scale, *rounds, *agg)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	final, err := srv.Serve(ctx, ln)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "goldfish-server: %v\n", err)
+		return 1
+	}
+	if err := initNet.SetStateVector(final); err != nil {
+		fmt.Fprintf(os.Stderr, "goldfish-server: %v\n", err)
+		return 1
+	}
+	fmt.Printf("final global accuracy: %.2f%%\n", goldfish.Accuracy(initNet, test)*100)
+	return 0
+}

@@ -1,0 +1,79 @@
+package goldfish_test
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+
+	"goldfish"
+)
+
+// ExampleNewPreset shows how to resolve the paper's configuration for a
+// dataset and inspect its dimensions.
+func ExampleNewPreset() {
+	p, err := goldfish.NewPreset("mnist", goldfish.ScaleTiny, 1)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println(p.Dataset, p.Spec.Classes, p.Clients)
+	// Output: mnist 10 5
+}
+
+// ExampleNewFederation trains a minimal two-client federation and evaluates
+// the global model.
+func ExampleNewFederation() {
+	p, _ := goldfish.NewPreset("mnist", goldfish.ScaleTiny, 1)
+	train, test, _ := p.Generate()
+	parts, _ := goldfish.PartitionIID(train, 2, rand.New(rand.NewSource(1)))
+
+	fed, err := goldfish.NewFederation(goldfish.FederationConfig{Client: p.ClientConfig()}, parts)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	if err := fed.Run(context.Background(), 6, nil); err != nil {
+		fmt.Println(err)
+		return
+	}
+	net, _ := fed.GlobalNet()
+	fmt.Println(goldfish.Accuracy(net, test) > 0.3)
+	// Output: true
+}
+
+// ExampleFederation_RequestDeletion demonstrates the right-to-be-forgotten
+// flow: after the deletion request, the next rounds unlearn the rows.
+func ExampleFederation_RequestDeletion() {
+	p, _ := goldfish.NewPreset("mnist", goldfish.ScaleTiny, 1)
+	train, _, _ := p.Generate()
+	parts, _ := goldfish.PartitionIID(train, 2, rand.New(rand.NewSource(1)))
+
+	fed, _ := goldfish.NewFederation(goldfish.FederationConfig{Client: p.ClientConfig()}, parts)
+	ctx := context.Background()
+	_ = fed.Run(ctx, 2, nil)
+
+	if err := fed.RequestDeletion(0, []int{0, 1, 2}); err != nil {
+		fmt.Println(err)
+		return
+	}
+	var unlearned bool
+	_ = fed.Run(ctx, 1, func(rs goldfish.RoundStats) { unlearned = rs.UnlearningRound })
+	fmt.Println(unlearned, fed.Client(0).NumActive() == parts[0].Len()-3)
+	// Output: true true
+}
+
+// ExampleBackdoorConfig shows the trigger-patch attack used to probe
+// unlearning validity.
+func ExampleBackdoorConfig() {
+	p, _ := goldfish.NewPreset("mnist", goldfish.ScaleTiny, 1)
+	train, _, _ := p.Generate()
+
+	bd := goldfish.DefaultBackdoor()
+	rows, err := bd.Poison(train, 0.1, rand.New(rand.NewSource(1)))
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println(len(rows) == train.Len()/10, train.Y[rows[0]] == bd.TargetLabel)
+	// Output: true true
+}

@@ -1,0 +1,88 @@
+// Heterogeneous: the extension module's adaptive-weight aggregation
+// (paper Eqs. 12–13, Fig. 8). When clients hold very uneven local datasets,
+// weighting uploads by their MSE on the server's test set stabilizes the
+// global model compared to FedAvg.
+//
+// Run with:
+//
+//	go run ./examples/heterogeneous
+package main
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"goldfish"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "heterogeneous: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	ctx := context.Background()
+	p, err := goldfish.NewPreset("mnist", goldfish.ScaleTiny, 5)
+	if err != nil {
+		return err
+	}
+	train, test, err := p.Generate()
+	if err != nil {
+		return err
+	}
+
+	const clients = 8
+	parts, err := goldfish.PartitionHeterogeneous(train, clients, 0.15, rand.New(rand.NewSource(5)))
+	if err != nil {
+		return err
+	}
+	sizes := make([]int, clients)
+	for i, part := range parts {
+		sizes[i] = part.Len()
+	}
+	fmt.Printf("%d clients with heterogeneous local datasets: sizes %v\n\n", clients, sizes)
+
+	type run struct {
+		name string
+		agg  goldfish.Aggregator
+	}
+	results := map[string][]float64{}
+	for _, r := range []run{
+		{"fedavg", goldfish.FedAvg{}},
+		{"adaptive (Eq.12-13)", goldfish.AdaptiveWeight{}},
+	} {
+		cfg := goldfish.FederationConfig{Client: p.ClientConfig(), Aggregator: r.agg}
+		if _, ok := r.agg.(goldfish.AdaptiveWeight); ok {
+			cfg.ServerTest = test
+		}
+		fedr, err := goldfish.NewFederation(cfg, parts)
+		if err != nil {
+			return err
+		}
+		var accs []float64
+		if err := fedr.Run(ctx, p.Rounds, func(rs goldfish.RoundStats) {
+			net, nerr := fedr.GlobalNet()
+			if nerr != nil {
+				err = nerr
+				return
+			}
+			accs = append(accs, goldfish.Accuracy(net, test))
+		}); err != nil {
+			return err
+		}
+		results[r.name] = accs
+	}
+
+	fmt.Printf("%-8s %-12s %-20s\n", "round", "fedavg", "adaptive (Eq.12-13)")
+	for i := range results["fedavg"] {
+		fmt.Printf("%-8d %-12.3f %-20.3f\n", i+1, results["fedavg"][i], results["adaptive (Eq.12-13)"][i])
+	}
+	fmt.Println()
+	fmt.Println("adaptive weighting favours uploads that score well on the server test")
+	fmt.Println("set, damping the noise that tiny or skewed clients inject early on.")
+	return nil
+}

@@ -1,0 +1,108 @@
+// Sharding: the SISA-style data-partition optimization (paper §III-B,
+// Figs. 2–3, 6–7). A client splits its data into shards with one model per
+// shard; when a deletion lands in few shards, only those retrain (from the
+// Eq. 9 checkpoint), so the model barely loses accuracy and the deletion
+// round is cheap. With one monolithic model (τ=1) every deletion triggers a
+// full reinitialization.
+//
+// Run with:
+//
+//	go run ./examples/sharding
+package main
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	"goldfish"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "sharding: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	ctx := context.Background()
+	p, err := goldfish.NewPreset("mnist", goldfish.ScaleTiny, 1)
+	if err != nil {
+		return err
+	}
+	train, test, err := p.Generate()
+	if err != nil {
+		return err
+	}
+
+	fmt.Println("single client; a small deletion request arrives after round 3")
+	fmt.Println()
+	fmt.Printf("%-8s %-10s %-12s %-13s %-13s %-10s\n",
+		"shards", "affected", "pre-del acc", "post-del acc", "recovered", "del time")
+
+	for _, tau := range []int{1, 6} {
+		cfg := p.ClientConfig()
+		cfg.Shards = tau
+
+		local := train.Clone()
+		fedr, err := goldfish.NewFederation(goldfish.FederationConfig{Client: cfg},
+			[]*goldfish.Dataset{local})
+		if err != nil {
+			return err
+		}
+		if err := fedr.Run(ctx, 3, nil); err != nil {
+			return err
+		}
+		pre, err := fedr.TestAccuracy(test)
+		if err != nil {
+			return err
+		}
+
+		// Build a deletion of ~2% of the data. For the sharded client we
+		// take rows from a single shard's territory — the favourable case
+		// the paper's Fig. 7a shows; a random spread at high rates touches
+		// every shard and loses the advantage (Fig. 7c).
+		n := local.Len() / 50
+		if n < 1 {
+			n = 1
+		}
+		var rows []int
+		affected := "1/1"
+		if mgr := fedr.Client(0).Shards(); mgr != nil {
+			rows = append(rows, mgr.Shard(2).Indices[:n]...)
+			affected = fmt.Sprintf("%d/%d", len(mgr.AffectedShards(rows)), tau)
+		} else {
+			rows = rand.New(rand.NewSource(7)).Perm(local.Len())[:n]
+		}
+
+		if err := fedr.RequestDeletion(0, rows); err != nil {
+			return err
+		}
+		start := time.Now()
+		if err := fedr.Run(ctx, 1, nil); err != nil {
+			return err
+		}
+		delTime := time.Since(start)
+		post, err := fedr.TestAccuracy(test)
+		if err != nil {
+			return err
+		}
+		if err := fedr.Run(ctx, 3, nil); err != nil {
+			return err
+		}
+		rec, err := fedr.TestAccuracy(test)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-8d %-10s %-12.3f %-13.3f %-13.3f %-10s\n",
+			tau, affected, pre, post, rec, delTime.Round(time.Millisecond))
+	}
+	fmt.Println()
+	fmt.Println("τ=6: only the affected shard retrains from the Eq. 9 checkpoint, so the")
+	fmt.Println("deletion round is fast and accuracy holds. τ=1: the whole model restarts.")
+	fmt.Println("(More shards also mean weaker individual models — Fig. 6's trade-off.)")
+	return nil
+}

@@ -1,0 +1,393 @@
+// Package baselines implements the three comparison systems of the paper's
+// evaluation (§IV-A "Baselines"):
+//
+//   - B1 — retrain from scratch after dropping the removed data
+//     (the reference unlearning procedure, as in Zhang et al. [23]);
+//   - B2 — rapid retraining guided by diagonal Fisher information
+//     (Liu et al. [21]; see DESIGN.md §4 for the substitution details);
+//   - B3 — incompetent-teacher unlearning (Chundawat et al. [35]): distill
+//     from the competent (original) teacher on remaining data and from a
+//     randomly initialized incompetent teacher on removed data.
+//
+// Running B1 with no removals doubles as the "origin" model (train on
+// everything, never unlearn).
+package baselines
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"goldfish/internal/core"
+	"goldfish/internal/data"
+	"goldfish/internal/fed"
+	"goldfish/internal/loss"
+	"goldfish/internal/model"
+	"goldfish/internal/nn"
+	"goldfish/internal/optim"
+	"goldfish/internal/tensor"
+)
+
+// Scenario bundles the training setup shared by all baselines.
+type Scenario struct {
+	// Model is the architecture every participant trains.
+	Model model.Config
+	// Opt configures local SGD.
+	Opt optim.SGDConfig
+	// LocalEpochs is the number of local epochs per round.
+	LocalEpochs int
+	// BatchSize is the local mini-batch size.
+	BatchSize int
+	// Seed drives all baseline randomness.
+	Seed int64
+}
+
+// Validate reports scenario errors.
+func (s Scenario) Validate() error {
+	if err := s.Opt.Validate(); err != nil {
+		return fmt.Errorf("baselines: %w", err)
+	}
+	if s.LocalEpochs <= 0 {
+		return fmt.Errorf("baselines: LocalEpochs must be positive, got %d", s.LocalEpochs)
+	}
+	if s.BatchSize <= 0 {
+		return fmt.Errorf("baselines: BatchSize must be positive, got %d", s.BatchSize)
+	}
+	return nil
+}
+
+// RoundHook observes the global state vector after each aggregated round.
+type RoundHook func(round int, global []float64)
+
+// dropRemoved returns client datasets without their removed rows.
+func dropRemoved(parts []*data.Dataset, removed map[int][]int) []*data.Dataset {
+	out := make([]*data.Dataset, len(parts))
+	for i, p := range parts {
+		if rows := removed[i]; len(rows) > 0 {
+			out[i] = p.Remove(rows)
+		} else {
+			out[i] = p
+		}
+	}
+	return out
+}
+
+// plainTrainer is per-client local SGD on hard loss, optionally with
+// diagonal-FIM preconditioning (B2).
+type plainTrainer struct {
+	id      int
+	ds      *data.Dataset
+	net     *nn.Network
+	opt     *optim.SGD
+	hard    loss.Hard
+	epochs  int
+	batch   int
+	rng     *rand.Rand
+	precond bool
+	fim     []float64 // EMA of squared gradients (diagonal FIM estimate)
+}
+
+func (p *plainTrainer) TrainRound(ctx context.Context, round int, global []float64) (fed.ModelUpdate, error) {
+	if err := p.net.SetStateVector(global); err != nil {
+		return fed.ModelUpdate{}, fmt.Errorf("baselines: client %d: %w", p.id, err)
+	}
+	idx := make([]int, p.ds.Len())
+	for i := range idx {
+		idx[i] = i
+	}
+	gl := loss.Goldfish{Hard: p.hard, ForgetScale: 1}
+	var last core.EpochResult
+	for e := 0; e < p.epochs; e++ {
+		if err := ctx.Err(); err != nil {
+			return fed.ModelUpdate{}, err
+		}
+		res, err := p.trainEpoch(ctx, idx, gl)
+		if err != nil {
+			return fed.ModelUpdate{}, err
+		}
+		last = res
+	}
+	return fed.ModelUpdate{
+		ClientID:   p.id,
+		Round:      round,
+		Params:     p.net.StateVector(),
+		NumSamples: p.ds.Len(),
+		TrainLoss:  last.HardLoss,
+	}, nil
+}
+
+func (p *plainTrainer) trainEpoch(ctx context.Context, idx []int, gl loss.Goldfish) (core.EpochResult, error) {
+	if !p.precond {
+		return core.TrainEpoch(ctx, p.net, nil, p.ds, idx, nil, gl, p.opt, p.batch, p.rng)
+	}
+	// B2: same batches, but gradients are rescaled by the inverse root of
+	// the running diagonal Fisher estimate before each step — Liu et al.'s
+	// curvature-guided fast recovery in first-order form.
+	var res core.EpochResult
+	params := p.net.Params()
+	if p.fim == nil {
+		p.fim = make([]float64, p.net.NumParams())
+	}
+	batches := data.BatchIndices(len(idx), p.batch, p.rng)
+	const (
+		decay = 0.9
+		eps   = 1e-4
+	)
+	for _, b := range batches {
+		if err := ctx.Err(); err != nil {
+			return res, err
+		}
+		rows := make([]int, len(b))
+		for i, j := range b {
+			rows[i] = idx[j]
+		}
+		x := sliceX(p.ds, rows)
+		logits := p.net.Forward(x, true)
+		hardLoss, grad := gl.Hard.Compute(logits, p.ds.LabelsFor(rows))
+		p.net.ZeroGrads()
+		p.net.Backward(grad)
+
+		off := 0
+		for _, pr := range params {
+			g := pr.G.Data()
+			for j := range g {
+				f := decay*p.fim[off] + (1-decay)*g[j]*g[j]
+				p.fim[off] = f
+				g[j] /= math.Sqrt(f) + eps
+				off++
+			}
+		}
+		p.opt.Step(params)
+		res.HardLoss += hardLoss
+		res.TotalLoss += hardLoss
+	}
+	if len(batches) > 0 {
+		res.HardLoss /= float64(len(batches))
+		res.TotalLoss /= float64(len(batches))
+	}
+	return res, nil
+}
+
+// runFederation drives trainers through a fed.Coordinator for the given
+// number of rounds.
+func runFederation(ctx context.Context, trainers []fed.LocalTrainer, initial []float64, rounds int, onRound RoundHook) ([]float64, error) {
+	cfg := fed.CoordinatorConfig{Rounds: rounds}
+	if onRound != nil {
+		cfg.OnRound = func(ri fed.RoundInfo) { onRound(ri.Round, ri.Global) }
+	}
+	coord, err := fed.NewCoordinator(cfg, initial, trainers)
+	if err != nil {
+		return nil, fmt.Errorf("baselines: %w", err)
+	}
+	return coord.Run(ctx)
+}
+
+// RetrainFromScratch implements B1: drop the removed rows, reinitialize the
+// global model and run plain FedAvg training for the given rounds. With an
+// empty removal map it trains the "origin" model.
+func RetrainFromScratch(ctx context.Context, sc Scenario, parts []*data.Dataset,
+	removed map[int][]int, rounds int, onRound RoundHook) ([]float64, error) {
+	return retrain(ctx, sc, parts, removed, rounds, false, onRound)
+}
+
+// RapidRetrain implements B2: like B1, but local updates are preconditioned
+// by a running diagonal Fisher-information estimate, which speeds recovery.
+func RapidRetrain(ctx context.Context, sc Scenario, parts []*data.Dataset,
+	removed map[int][]int, rounds int, onRound RoundHook) ([]float64, error) {
+	return retrain(ctx, sc, parts, removed, rounds, true, onRound)
+}
+
+func retrain(ctx context.Context, sc Scenario, parts []*data.Dataset,
+	removed map[int][]int, rounds int, precond bool, onRound RoundHook) ([]float64, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	clean := dropRemoved(parts, removed)
+	trainers := make([]fed.LocalTrainer, len(clean))
+	for i, ds := range clean {
+		if ds.Len() == 0 {
+			return nil, fmt.Errorf("baselines: client %d has no data after removal", i)
+		}
+		mcfg := sc.Model
+		mcfg.Seed = sc.Model.Seed + int64(i)*977 + 13
+		net, err := model.Build(mcfg)
+		if err != nil {
+			return nil, fmt.Errorf("baselines: %w", err)
+		}
+		opt, err := optim.NewSGD(sc.Opt)
+		if err != nil {
+			return nil, fmt.Errorf("baselines: %w", err)
+		}
+		trainers[i] = &plainTrainer{
+			id:      i,
+			ds:      ds,
+			net:     net,
+			opt:     opt,
+			hard:    loss.CrossEntropy{},
+			epochs:  sc.LocalEpochs,
+			batch:   sc.BatchSize,
+			rng:     rand.New(rand.NewSource(sc.Seed*7907 + int64(i))),
+			precond: precond,
+		}
+	}
+	mcfg := sc.Model
+	mcfg.Seed = sc.Seed + 4242 // fresh initialization: this is a retrain
+	initNet, err := model.Build(mcfg)
+	if err != nil {
+		return nil, fmt.Errorf("baselines: %w", err)
+	}
+	return runFederation(ctx, trainers, initNet.StateVector(), rounds, onRound)
+}
+
+// incompetentTrainer is the B3 client: distill from the competent teacher on
+// remaining data and from an incompetent (random) teacher on removed data.
+type incompetentTrainer struct {
+	id          int
+	dr          *data.Dataset
+	df          *data.Dataset
+	net         *nn.Network
+	competent   *nn.Network
+	incompetent *nn.Network
+	opt         *optim.SGD
+	temp        float64
+	epochs      int
+	batch       int
+	rng         *rand.Rand
+}
+
+func (t *incompetentTrainer) TrainRound(ctx context.Context, round int, global []float64) (fed.ModelUpdate, error) {
+	if err := t.net.SetStateVector(global); err != nil {
+		return fed.ModelUpdate{}, fmt.Errorf("baselines: client %d: %w", t.id, err)
+	}
+	params := t.net.Params()
+	unlearning := t.df != nil && t.df.Len() > 0
+	var lastLoss float64
+	for e := 0; e < t.epochs; e++ {
+		if err := ctx.Err(); err != nil {
+			return fed.ModelUpdate{}, err
+		}
+		lastLoss = 0
+		batches := data.BatchIndices(t.dr.Len(), t.batch, t.rng)
+		for _, b := range batches {
+			x := sliceX(t.dr, b)
+			logits := t.net.Forward(x, true)
+			var l float64
+			var grad *tensor.Tensor
+			if unlearning {
+				// Chundawat et al.: the unlearning party distills the
+				// competent teacher on its remaining data.
+				tLogits := t.competent.Forward(x, false)
+				l, grad = loss.Distillation(logits, tLogits, t.temp)
+			} else {
+				// Clients without removals train normally; distilling them
+				// from the contaminated teacher would keep re-teaching the
+				// very behaviour being unlearned.
+				l, grad = (loss.CrossEntropy{}).Compute(logits, t.dr.LabelsFor(b))
+			}
+			t.net.ZeroGrads()
+			t.net.Backward(grad)
+			t.opt.Step(params)
+			lastLoss += l
+		}
+		if len(batches) > 0 {
+			lastLoss /= float64(len(batches))
+		}
+		if t.df != nil && t.df.Len() > 0 {
+			// |Df| ≪ |Dr|, and in a federation only this client pushes
+			// against the backdoor while every client's retain distillation
+			// pulls towards the contaminated teacher. Repeat the forget
+			// passes and distill sharply (T=1) so bad teaching wins.
+			const forgetPasses = 3
+			for pass := 0; pass < forgetPasses; pass++ {
+				for _, b := range data.BatchIndices(t.df.Len(), t.batch, t.rng) {
+					x := sliceX(t.df, b)
+					logits := t.net.Forward(x, true)
+					badLogits := t.incompetent.Forward(x, false)
+					_, grad := loss.Distillation(logits, badLogits, 1)
+					t.net.ZeroGrads()
+					t.net.Backward(grad)
+					t.opt.Step(params)
+				}
+			}
+		}
+	}
+	return fed.ModelUpdate{
+		ClientID:   t.id,
+		Round:      round,
+		Params:     t.net.StateVector(),
+		NumSamples: t.dr.Len(),
+		TrainLoss:  lastLoss,
+	}, nil
+}
+
+// IncompetentTeacher implements B3. contaminated is the state vector of the
+// original (pre-deletion) global model: it seeds the student and acts as the
+// competent teacher; a randomly initialized network of the same architecture
+// is the incompetent teacher for the removed data.
+func IncompetentTeacher(ctx context.Context, sc Scenario, parts []*data.Dataset,
+	removed map[int][]int, contaminated []float64, rounds int, temp float64, onRound RoundHook) ([]float64, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	if temp <= 0 {
+		return nil, fmt.Errorf("baselines: distillation temperature must be positive, got %g", temp)
+	}
+	if len(contaminated) == 0 {
+		return nil, fmt.Errorf("baselines: B3 needs the contaminated global model")
+	}
+	trainers := make([]fed.LocalTrainer, len(parts))
+	for i, p := range parts {
+		mcfg := sc.Model
+		mcfg.Seed = sc.Model.Seed + int64(i)*881 + 3
+		student, err := model.Build(mcfg)
+		if err != nil {
+			return nil, fmt.Errorf("baselines: %w", err)
+		}
+		competent, err := model.Build(mcfg)
+		if err != nil {
+			return nil, fmt.Errorf("baselines: %w", err)
+		}
+		if err := competent.SetStateVector(contaminated); err != nil {
+			return nil, fmt.Errorf("baselines: loading competent teacher: %w", err)
+		}
+		mcfg.Seed = sc.Seed + int64(i)*6151 + 99 // random incompetent teacher
+		incompetent, err := model.Build(mcfg)
+		if err != nil {
+			return nil, fmt.Errorf("baselines: %w", err)
+		}
+		opt, err := optim.NewSGD(sc.Opt)
+		if err != nil {
+			return nil, fmt.Errorf("baselines: %w", err)
+		}
+		dr := p
+		var df *data.Dataset
+		if rows := removed[i]; len(rows) > 0 {
+			df = p.Subset(rows)
+			dr = p.Remove(rows)
+		}
+		if dr.Len() == 0 {
+			return nil, fmt.Errorf("baselines: client %d has no data after removal", i)
+		}
+		trainers[i] = &incompetentTrainer{
+			id:          i,
+			dr:          dr,
+			df:          df,
+			net:         student,
+			competent:   competent,
+			incompetent: incompetent,
+			opt:         opt,
+			temp:        temp,
+			epochs:      sc.LocalEpochs,
+			batch:       sc.BatchSize,
+			rng:         rand.New(rand.NewSource(sc.Seed*3181 + int64(i))),
+		}
+	}
+	// B3 starts from the contaminated model rather than from scratch.
+	return runFederation(ctx, trainers, contaminated, rounds, onRound)
+}
+
+// sliceX extracts the given rows of a dataset as a batch tensor.
+func sliceX(ds *data.Dataset, rows []int) *tensor.Tensor {
+	return tensor.SliceRows(ds.X, rows)
+}

@@ -1,0 +1,239 @@
+package baselines
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"goldfish/internal/data"
+	"goldfish/internal/metrics"
+	"goldfish/internal/model"
+	"goldfish/internal/optim"
+)
+
+func testScenario() Scenario {
+	return Scenario{
+		Model:       model.Config{Arch: model.ArchMLP, InC: 1, InH: 12, InW: 12, Classes: 10, Seed: 1},
+		Opt:         optim.SGDConfig{LR: 0.1, Momentum: 0.9, ClipNorm: 5},
+		LocalEpochs: 3,
+		BatchSize:   32,
+		Seed:        1,
+	}
+}
+
+// poisonedSetup builds partitions with a backdoored client 0 and returns
+// everything the baseline comparisons need.
+func poisonedSetup(t *testing.T) (parts []*data.Dataset, removed map[int][]int,
+	test, triggered *data.Dataset, bd data.BackdoorConfig) {
+	t.Helper()
+	spec, err := data.SpecMNIST(data.ScaleTiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, testSet, err := data.Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	parts, err = data.PartitionIID(train, 4, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bd = data.DefaultBackdoor()
+	rows, err := bd.Poison(parts[0], 0.3, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trig, err := bd.TriggerCopy(testSet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return parts, map[int][]int{0: rows}, testSet, trig, bd
+}
+
+func evalState(t *testing.T, sc Scenario, state []float64, test *data.Dataset) float64 {
+	t.Helper()
+	net, err := model.Build(sc.Model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := net.SetStateVector(state); err != nil {
+		t.Fatal(err)
+	}
+	return metrics.Accuracy(net, test, 0)
+}
+
+func evalASR(t *testing.T, sc Scenario, state []float64, triggered *data.Dataset, target int) float64 {
+	t.Helper()
+	net, err := model.Build(sc.Model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := net.SetStateVector(state); err != nil {
+		t.Fatal(err)
+	}
+	return metrics.AttackSuccessRate(net, triggered, target, 0)
+}
+
+func TestScenarioValidate(t *testing.T) {
+	if err := testScenario().Validate(); err != nil {
+		t.Errorf("valid scenario rejected: %v", err)
+	}
+	bad := testScenario()
+	bad.LocalEpochs = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("0 epochs accepted")
+	}
+	bad = testScenario()
+	bad.BatchSize = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("0 batch accepted")
+	}
+	bad = testScenario()
+	bad.Opt.LR = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("invalid optimizer accepted")
+	}
+}
+
+func TestOriginLearnsBackdoor(t *testing.T) {
+	parts, _, test, triggered, bd := poisonedSetup(t)
+	sc := testScenario()
+	// Origin = B1 with no removals: trains on the poisoned data.
+	state, err := RetrainFromScratch(context.Background(), sc, parts, nil, 8, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc := evalState(t, sc, state, test)
+	asr := evalASR(t, sc, state, triggered, bd.TargetLabel)
+	if acc < 0.35 {
+		t.Errorf("origin accuracy %g too low", acc)
+	}
+	if asr < 0.4 {
+		t.Errorf("origin ASR %g too low — backdoor should take hold", asr)
+	}
+}
+
+func TestB1RemovesBackdoor(t *testing.T) {
+	parts, removed, test, triggered, bd := poisonedSetup(t)
+	sc := testScenario()
+	var rounds int
+	state, err := RetrainFromScratch(context.Background(), sc, parts, removed, 8,
+		func(round int, global []float64) { rounds++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rounds != 8 {
+		t.Errorf("round hook fired %d times, want 8", rounds)
+	}
+	acc := evalState(t, sc, state, test)
+	asr := evalASR(t, sc, state, triggered, bd.TargetLabel)
+	if acc < 0.35 {
+		t.Errorf("B1 accuracy %g too low", acc)
+	}
+	if asr > 0.25 {
+		t.Errorf("B1 ASR %g too high after retraining without poison", asr)
+	}
+}
+
+func TestB2ConvergesAndRemovesBackdoor(t *testing.T) {
+	parts, removed, test, triggered, bd := poisonedSetup(t)
+	sc := testScenario()
+	sc.Opt.LR = 0.01 // preconditioned steps are larger; lower LR
+	state, err := RapidRetrain(context.Background(), sc, parts, removed, 8, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc := evalState(t, sc, state, test)
+	asr := evalASR(t, sc, state, triggered, bd.TargetLabel)
+	if acc < 0.35 {
+		t.Errorf("B2 accuracy %g too low", acc)
+	}
+	if asr > 0.25 {
+		t.Errorf("B2 ASR %g too high", asr)
+	}
+}
+
+func TestB2FasterThanB1EarlyOn(t *testing.T) {
+	parts, removed, test, _, _ := poisonedSetup(t)
+	sc := testScenario()
+	sc.Opt.LR = 0.01
+	sc.LocalEpochs = 1
+	b2, err := RapidRetrain(context.Background(), sc, parts, removed, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scPlain := sc
+	scPlain.Opt.LR = 0.01
+	b1, err := RetrainFromScratch(context.Background(), scPlain, parts, removed, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	accB2 := evalState(t, sc, b2, test)
+	accB1 := evalState(t, sc, b1, test)
+	if accB2 <= accB1 {
+		t.Errorf("FIM preconditioning should speed early recovery: B2 %g vs B1 %g", accB2, accB1)
+	}
+}
+
+func TestB3UnlearnsFromContaminatedModel(t *testing.T) {
+	parts, removed, test, triggered, bd := poisonedSetup(t)
+	sc := testScenario()
+	// Build the contaminated origin first.
+	origin, err := RetrainFromScratch(context.Background(), sc, parts, nil, 8, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	asrOrigin := evalASR(t, sc, origin, triggered, bd.TargetLabel)
+	if asrOrigin < 0.4 {
+		t.Fatalf("origin ASR %g too low for a meaningful B3 test", asrOrigin)
+	}
+	state, err := IncompetentTeacher(context.Background(), sc, parts, removed, origin, 8, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc := evalState(t, sc, state, test)
+	asr := evalASR(t, sc, state, triggered, bd.TargetLabel)
+	// B3 is the weakest unlearner in the paper's tables as well (its ASR
+	// stays above B1's and ours); require a clear drop, not elimination.
+	if asr > asrOrigin*0.6 {
+		t.Errorf("B3 ASR %g did not drop enough from origin %g", asr, asrOrigin)
+	}
+	if acc < 0.3 {
+		t.Errorf("B3 accuracy %g too low", acc)
+	}
+}
+
+func TestBaselineErrors(t *testing.T) {
+	parts, removed, _, _, _ := poisonedSetup(t)
+	ctx := context.Background()
+	bad := testScenario()
+	bad.LocalEpochs = 0
+	if _, err := RetrainFromScratch(ctx, bad, parts, removed, 2, nil); err == nil {
+		t.Error("invalid scenario accepted")
+	}
+	sc := testScenario()
+	// Removing everything from a client must fail.
+	all := make([]int, parts[1].Len())
+	for i := range all {
+		all[i] = i
+	}
+	if _, err := RetrainFromScratch(ctx, sc, parts, map[int][]int{1: all}, 2, nil); err == nil {
+		t.Error("client with no remaining data accepted")
+	}
+	if _, err := IncompetentTeacher(ctx, sc, parts, removed, nil, 2, 3, nil); err == nil {
+		t.Error("B3 without contaminated model accepted")
+	}
+	if _, err := IncompetentTeacher(ctx, sc, parts, removed, []float64{1}, 2, 0, nil); err == nil {
+		t.Error("B3 with zero temperature accepted")
+	}
+}
+
+func TestBaselineCancellation(t *testing.T) {
+	parts, removed, _, _, _ := poisonedSetup(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RetrainFromScratch(ctx, testScenario(), parts, removed, 5, nil); err == nil {
+		t.Error("cancelled run should fail")
+	}
+}

@@ -1,0 +1,151 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+
+	"goldfish/internal/baselines"
+	"goldfish/internal/core"
+)
+
+// RunFig4 regenerates Fig. 4: test-accuracy curves while retraining after a
+// deletion request, comparing Goldfish ("ours") against B1 (retrain from
+// scratch) and B2 (FIM-guided rapid retraining), one sub-figure per
+// dataset/model combination.
+func RunFig4(opts Options) (*Report, error) {
+	opts = opts.withDefaults()
+	report := &Report{ID: "fig4", Title: "Accuracy while retraining after deletion (ours vs B1 vs B2)"}
+	speed := Table{
+		Title:   "Retraining speed: rounds to reach the half-way accuracy mark (lower is faster)",
+		Columns: []string{"combo", "threshold", "ours", "B2", "B1"},
+	}
+	for _, c := range fig45Combos(opts.Scale) {
+		fig, err := runFig4Combo(c, opts)
+		if err != nil {
+			return nil, fmt.Errorf("bench: %s/%s: %w", c.dataset, c.arch, err)
+		}
+		report.Figures = append(report.Figures, *fig)
+		speed.Rows = append(speed.Rows, speedRow(fmt.Sprintf("%s/%s", c.dataset, c.arch), fig.Series))
+	}
+	report.Tables = append(report.Tables, speed)
+	return report, nil
+}
+
+// speedRow summarizes a Fig. 4 sub-figure as rounds-to-threshold, where the
+// threshold is half the best accuracy any method reaches — the paper's
+// efficiency claim in one number per method.
+func speedRow(combo string, series []Series) []string {
+	best := 0.0
+	for _, s := range series {
+		for _, y := range s.Y {
+			if y > best {
+				best = y
+			}
+		}
+	}
+	threshold := best / 2
+	row := []string{combo, fmt.Sprintf("%.3f", threshold)}
+	for _, name := range []string{"ours", "B2", "B1"} {
+		cell := "-"
+		for _, s := range series {
+			if s.Name != name {
+				continue
+			}
+			for i, y := range s.Y {
+				if y >= threshold {
+					cell = fmt.Sprintf("%.0f", s.X[i])
+					break
+				}
+			}
+		}
+		row = append(row, cell)
+	}
+	return row
+}
+
+func runFig4Combo(c comboSpec, opts Options) (*Figure, error) {
+	s, err := newSetup(c.dataset, c.arch, opts)
+	if err != nil {
+		return nil, err
+	}
+	ctx := context.Background()
+	parts, err := s.partitionIID()
+	if err != nil {
+		return nil, err
+	}
+	// Delete 5% of client 0's data (plain rows; Fig. 4 studies retraining
+	// speed, not backdoors).
+	n := parts[0].Len() / 20
+	if n == 0 {
+		n = 1
+	}
+	rows := s.rng.Perm(parts[0].Len())[:n]
+	removed := map[int][]int{0: rows}
+
+	// Train the pre-deletion global model; it becomes Goldfish's teacher.
+	f, err := core.NewFederation(core.FederationConfig{Client: s.clientConfig()}, parts)
+	if err != nil {
+		return nil, err
+	}
+	if err := f.Run(ctx, s.rounds, nil); err != nil {
+		return nil, err
+	}
+
+	fig := &Figure{
+		Title:  fmt.Sprintf("Fig.4 %s (%s)", c.dataset, c.arch),
+		XLabel: "retraining round",
+		YLabel: "test accuracy",
+	}
+
+	// Ours: continue the federation through the unlearning rounds.
+	if err := f.RequestDeletion(0, rows); err != nil {
+		return nil, err
+	}
+	ours := Series{Name: "ours"}
+	err = f.Run(ctx, s.rounds, func(rs core.RoundStats) {
+		acc, aerr := s.accuracy(rs.Global)
+		if aerr != nil {
+			err = aerr
+			return
+		}
+		ours.X = append(ours.X, float64(len(ours.X)+1))
+		ours.Y = append(ours.Y, acc)
+	})
+	if err != nil {
+		return nil, err
+	}
+	fig.Series = append(fig.Series, ours)
+
+	// B2: rapid retraining (preconditioned updates want a smaller LR).
+	scB2 := s.scenario()
+	scB2.Opt.LR = s.lr / 5
+	b2 := Series{Name: "B2"}
+	if _, err := baselines.RapidRetrain(ctx, scB2, parts, removed, s.rounds, func(round int, global []float64) {
+		acc, aerr := s.accuracy(global)
+		if aerr != nil {
+			err = aerr
+			return
+		}
+		b2.X = append(b2.X, float64(round+1))
+		b2.Y = append(b2.Y, acc)
+	}); err != nil {
+		return nil, err
+	}
+	fig.Series = append(fig.Series, b2)
+
+	// B1: retrain from scratch.
+	b1 := Series{Name: "B1"}
+	if _, err := baselines.RetrainFromScratch(ctx, s.scenario(), parts, removed, s.rounds, func(round int, global []float64) {
+		acc, aerr := s.accuracy(global)
+		if aerr != nil {
+			err = aerr
+			return
+		}
+		b1.X = append(b1.X, float64(round+1))
+		b1.Y = append(b1.Y, acc)
+	}); err != nil {
+		return nil, err
+	}
+	fig.Series = append(fig.Series, b1)
+	return fig, nil
+}

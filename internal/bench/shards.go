@@ -1,0 +1,131 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+
+	"goldfish/internal/core"
+	"goldfish/internal/data"
+	"goldfish/internal/model"
+)
+
+// shardCounts returns the τ sweep of Fig. 6 at the given scale. The paper
+// sweeps {1,3,6,9,12,15,18}; tiny data cannot feed 18 useful shards per
+// client, so reduced scales drop the tail.
+func shardCounts(scale data.Scale) []int {
+	switch scale {
+	case data.ScaleMedium, data.ScalePaper:
+		return []int{1, 3, 6, 9, 12, 15, 18}
+	default:
+		return []int{1, 3, 6, 9, 12}
+	}
+}
+
+// RunFig6 regenerates Fig. 6: single-client training convergence on the
+// MNIST stand-in under different shard counts τ. The client's uploaded
+// model is the Eq. 8 aggregate of its shard models.
+func RunFig6(opts Options) (*Report, error) {
+	opts = opts.withDefaults()
+	s, err := newSetup("mnist", model.ArchLeNet5, opts)
+	if err != nil {
+		return nil, err
+	}
+	ctx := context.Background()
+	fig := Figure{
+		Title:  "Fig.6 accuracy vs shard count (MNIST stand-in)",
+		XLabel: "round",
+		YLabel: "test accuracy",
+	}
+	for _, tau := range shardCounts(opts.Scale) {
+		cfg := s.clientConfig()
+		cfg.Shards = tau
+		f, err := core.NewFederation(core.FederationConfig{Client: cfg}, []*data.Dataset{s.train})
+		if err != nil {
+			return nil, err
+		}
+		series := Series{Name: fmt.Sprintf("shards=%d", tau)}
+		var accErr error
+		if err := f.Run(ctx, s.rounds, func(rs core.RoundStats) {
+			acc, aerr := s.accuracy(rs.Global)
+			if aerr != nil {
+				accErr = aerr
+				return
+			}
+			series.X = append(series.X, float64(rs.Round+1))
+			series.Y = append(series.Y, acc)
+		}); err != nil {
+			return nil, err
+		}
+		if accErr != nil {
+			return nil, accErr
+		}
+		fig.Series = append(fig.Series, series)
+	}
+	return &Report{ID: "fig6", Title: fig.Title, Figures: []Figure{fig}}, nil
+}
+
+// RunFig7 regenerates Fig. 7: accuracy around a deletion event at 2%, 6%
+// and 10% deletion rates across shard counts. Deletion happens after round
+// 3 (the paper's red dashed line); sharded clients retrain only the
+// affected shards from their checkpoints.
+func RunFig7(opts Options) (*Report, error) {
+	opts = opts.withDefaults()
+	s, err := newSetup("mnist", model.ArchLeNet5, opts)
+	if err != nil {
+		return nil, err
+	}
+	ctx := context.Background()
+	const deletionRound = 3
+	taus := []int{1, 3, 6, 9}
+	report := &Report{ID: "fig7", Title: "Accuracy around deletion for shard counts (deletion after round 3)"}
+	for _, ratePct := range []int{2, 6, 10} {
+		fig := Figure{
+			Title:  fmt.Sprintf("Fig.7 deletion rate %d%%", ratePct),
+			XLabel: "round",
+			YLabel: "test accuracy",
+		}
+		for _, tau := range taus {
+			cfg := s.clientConfig()
+			cfg.Shards = tau
+			train := s.train.Clone()
+			f, err := core.NewFederation(core.FederationConfig{Client: cfg}, []*data.Dataset{train})
+			if err != nil {
+				return nil, err
+			}
+			series := Series{Name: fmt.Sprintf("shards=%d", tau)}
+			record := func(rs core.RoundStats) {
+				acc, aerr := s.accuracy(rs.Global)
+				if aerr != nil {
+					err = aerr
+					return
+				}
+				series.X = append(series.X, float64(len(series.X)+1))
+				series.Y = append(series.Y, acc)
+			}
+			if rerr := f.Run(ctx, deletionRound, record); rerr != nil {
+				return nil, rerr
+			}
+			if err != nil {
+				return nil, err
+			}
+			// Delete ratePct% of the client's rows.
+			n := train.Len() * ratePct / 100
+			if n == 0 {
+				n = 1
+			}
+			rows := s.rng.Perm(train.Len())[:n]
+			if rerr := f.RequestDeletion(0, rows); rerr != nil {
+				return nil, rerr
+			}
+			if rerr := f.Run(ctx, s.rounds-deletionRound+2, record); rerr != nil {
+				return nil, rerr
+			}
+			if err != nil {
+				return nil, err
+			}
+			fig.Series = append(fig.Series, series)
+		}
+		report.Figures = append(report.Figures, fig)
+	}
+	return report, nil
+}

@@ -1,0 +1,252 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"goldfish/internal/data"
+	"goldfish/internal/fed"
+	"goldfish/internal/metrics"
+	"goldfish/internal/model"
+	"goldfish/internal/nn"
+)
+
+// buildModel constructs a network from a model configuration, wrapping
+// errors with package context.
+func buildModel(cfg model.Config) (*nn.Network, error) {
+	net, err := model.Build(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("core: building model: %w", err)
+	}
+	return net, nil
+}
+
+// FederationConfig configures the server side of Algorithm 1.
+type FederationConfig struct {
+	// Client is the configuration shared by all clients.
+	Client Config
+	// Aggregator combines uploads; nil selects FedAvg. Use
+	// fed.AdaptiveWeight together with ServerTest for the paper's
+	// extension-module aggregation.
+	Aggregator fed.Aggregator
+	// ServerTest, when set, is the central test set used to score uploaded
+	// models (MSE of Eq. 12) before adaptive-weight aggregation.
+	ServerTest *data.Dataset
+	// MinClients is the minimum number of successful client updates per
+	// round; fewer aborts the round. Defaults to 1.
+	MinClients int
+}
+
+// RoundStats summarizes one completed federation round for callbacks.
+type RoundStats struct {
+	// Round is the completed round index (monotonic across Run calls).
+	Round int
+	// Global is the aggregated state vector (callbacks must copy to
+	// retain).
+	Global []float64
+	// Updates are the client uploads aggregated this round.
+	Updates []fed.ModelUpdate
+	// Dropped lists client IDs whose local training failed this round.
+	Dropped []int
+	// UnlearningRound is true when this round processed deletion requests.
+	UnlearningRound bool
+}
+
+// Federation orchestrates Goldfish clients: the Efficient Federated
+// Unlearning Framework procedure of Algorithm 1. It is not safe for
+// concurrent use; drive it from one goroutine.
+type Federation struct {
+	cfg     FederationConfig
+	clients []*Client
+	evalNet *nn.Network
+	global  []float64
+	round   int
+	reinit  bool
+	reseed  int64
+	nextID  int
+}
+
+// NewFederation creates a federation with one client per dataset partition.
+func NewFederation(cfg FederationConfig, parts []*data.Dataset) (*Federation, error) {
+	if err := cfg.Client.Validate(); err != nil {
+		return nil, err
+	}
+	if len(parts) == 0 {
+		return nil, fmt.Errorf("core: no client partitions")
+	}
+	if cfg.Aggregator == nil {
+		cfg.Aggregator = fed.FedAvg{}
+	}
+	if cfg.MinClients <= 0 {
+		cfg.MinClients = 1
+	}
+	if cfg.MinClients > len(parts) {
+		return nil, fmt.Errorf("core: MinClients %d exceeds client count %d", cfg.MinClients, len(parts))
+	}
+	clients := make([]*Client, len(parts))
+	for i, p := range parts {
+		c, err := NewClient(i, cfg.Client, p)
+		if err != nil {
+			return nil, err
+		}
+		clients[i] = c
+	}
+	initNet, err := buildModel(cfg.Client.Model)
+	if err != nil {
+		return nil, err
+	}
+	evalNet, err := buildModel(cfg.Client.Model)
+	if err != nil {
+		return nil, err
+	}
+	return &Federation{
+		cfg:     cfg,
+		clients: clients,
+		evalNet: evalNet,
+		global:  initNet.StateVector(),
+		reseed:  cfg.Client.Model.Seed,
+		nextID:  len(clients),
+	}, nil
+}
+
+// NumClients returns the number of participants.
+func (f *Federation) NumClients() int { return len(f.clients) }
+
+// Client returns participant i.
+func (f *Federation) Client(i int) *Client { return f.clients[i] }
+
+// Round returns the number of completed rounds.
+func (f *Federation) Round() int { return f.round }
+
+// Global returns a copy of the current global state vector.
+func (f *Federation) Global() []float64 { return append([]float64(nil), f.global...) }
+
+// GlobalNet returns a fresh network loaded with the current global state.
+func (f *Federation) GlobalNet() (*nn.Network, error) {
+	net, err := buildModel(f.cfg.Client.Model)
+	if err != nil {
+		return nil, err
+	}
+	if err := net.SetStateVector(f.global); err != nil {
+		return nil, fmt.Errorf("core: loading global state: %w", err)
+	}
+	return net, nil
+}
+
+// RequestDeletion submits a deletion request for rows of a client's local
+// dataset (Algorithm 1 lines 8–17): the target client unlearns with the
+// Goldfish procedure, all other clients rebuild by distillation, and the
+// global model is reinitialized before the next round.
+func (f *Federation) RequestDeletion(clientID int, rows []int) error {
+	if clientID < 0 || clientID >= len(f.clients) {
+		return fmt.Errorf("core: client %d out of range [0,%d)", clientID, len(f.clients))
+	}
+	if err := f.clients[clientID].RequestDeletion(rows); err != nil {
+		return err
+	}
+	for i, c := range f.clients {
+		if i != clientID {
+			c.MarkRetrain()
+		}
+	}
+	f.reinit = true
+	return nil
+}
+
+// Run executes n federation rounds, invoking onRound (may be nil) after
+// each. It honours ctx cancellation.
+func (f *Federation) Run(ctx context.Context, n int, onRound func(RoundStats)) error {
+	for i := 0; i < n; i++ {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("core: cancelled before round %d: %w", f.round, err)
+		}
+		if err := f.runRound(ctx, onRound); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (f *Federation) runRound(ctx context.Context, onRound func(RoundStats)) error {
+	unlearning := f.reinit
+	if f.reinit {
+		// Algorithm 1 line 12: reinitialize the global model before the
+		// unlearning round so the student starts without knowledge of Df.
+		f.reseed += 7919
+		mcfg := f.cfg.Client.Model
+		mcfg.Seed = f.reseed
+		fresh, err := buildModel(mcfg)
+		if err != nil {
+			return err
+		}
+		f.global = fresh.StateVector()
+		f.reinit = false
+	}
+
+	type result struct {
+		update fed.ModelUpdate
+		err    error
+	}
+	results := make([]result, len(f.clients))
+	var wg sync.WaitGroup
+	for i, c := range f.clients {
+		wg.Add(1)
+		go func(i int, c *Client) {
+			defer wg.Done()
+			global := append([]float64(nil), f.global...)
+			u, err := c.TrainRound(ctx, f.round, global)
+			results[i] = result{update: u, err: err}
+		}(i, c)
+	}
+	wg.Wait()
+
+	updates := make([]fed.ModelUpdate, 0, len(results))
+	var dropped []int
+	for i, r := range results {
+		if r.err != nil {
+			dropped = append(dropped, i)
+			continue
+		}
+		updates = append(updates, r.update)
+	}
+	if len(updates) < f.cfg.MinClients {
+		return fmt.Errorf("core: round %d: only %d/%d clients succeeded (min %d)",
+			f.round, len(updates), len(f.clients), f.cfg.MinClients)
+	}
+
+	if _, adaptive := f.cfg.Aggregator.(fed.AdaptiveWeight); adaptive && f.cfg.ServerTest != nil {
+		for i := range updates {
+			if err := f.evalNet.SetStateVector(updates[i].Params); err != nil {
+				return fmt.Errorf("core: round %d: scoring client %d: %w", f.round, updates[i].ClientID, err)
+			}
+			updates[i].MSE = metrics.MSE(f.evalNet, f.cfg.ServerTest, f.cfg.Client.BatchSize)
+		}
+	}
+
+	global, err := f.cfg.Aggregator.Aggregate(updates)
+	if err != nil {
+		return fmt.Errorf("core: round %d: %w", f.round, err)
+	}
+	f.global = global
+	f.round++
+
+	if onRound != nil {
+		onRound(RoundStats{
+			Round:           f.round - 1,
+			Global:          global,
+			Updates:         updates,
+			Dropped:         dropped,
+			UnlearningRound: unlearning,
+		})
+	}
+	return nil
+}
+
+// TestAccuracy evaluates the current global model on a dataset.
+func (f *Federation) TestAccuracy(test *data.Dataset) (float64, error) {
+	if err := f.evalNet.SetStateVector(f.global); err != nil {
+		return 0, fmt.Errorf("core: loading global state: %w", err)
+	}
+	return metrics.Accuracy(f.evalNet, test, 0), nil
+}

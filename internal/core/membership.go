@@ -1,0 +1,53 @@
+package core
+
+import (
+	"fmt"
+
+	"goldfish/internal/data"
+)
+
+// Dynamic membership implements the paper's §V outlook ("clients may join
+// or leave"): the federation accepts new participants between rounds and
+// removes departing ones, with an optional full unlearning of the departing
+// client's contribution.
+
+// AddClient registers a new participant holding the given local dataset and
+// returns its client ID (unique across the federation's lifetime, even after
+// removals). The client joins from the next round onward; it receives the
+// current global model like any other participant.
+func (f *Federation) AddClient(ds *data.Dataset) (int, error) {
+	id := f.nextID
+	c, err := NewClient(id, f.cfg.Client, ds)
+	if err != nil {
+		return 0, err
+	}
+	f.clients = append(f.clients, c)
+	f.nextID++
+	return id, nil
+}
+
+// RemoveClient removes a participant from the federation. When unlearn is
+// true the removal is treated as a deletion request for the client's entire
+// remaining dataset (Algorithm 1's flow: the global model is reinitialized
+// and every remaining client rebuilds by distillation), so the departed
+// client's contribution is actively forgotten rather than merely no longer
+// aggregated.
+func (f *Federation) RemoveClient(clientID int, unlearn bool) error {
+	if clientID < 0 || clientID >= len(f.clients) {
+		return fmt.Errorf("core: client %d out of range [0,%d)", clientID, len(f.clients))
+	}
+	if len(f.clients) == 1 {
+		return fmt.Errorf("core: cannot remove the last client")
+	}
+	f.clients = append(f.clients[:clientID], f.clients[clientID+1:]...)
+	if f.cfg.MinClients > len(f.clients) {
+		f.cfg.MinClients = len(f.clients)
+	}
+	if unlearn {
+		for _, c := range f.clients {
+			c.MarkRetrain()
+		}
+		f.reinit = true
+	}
+	return nil
+}

@@ -1,0 +1,101 @@
+package data
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// BackdoorConfig describes a square-patch backdoor trigger, the probe the
+// paper uses to verify unlearning (§IV-A, following Wu et al. [34]): a small
+// bright patch in the image corner causes a poisoned model to predict
+// TargetLabel.
+type BackdoorConfig struct {
+	// TargetLabel is the class the trigger should elicit.
+	TargetLabel int
+	// PatchSize is the side length of the trigger patch in pixels.
+	PatchSize int
+	// PatchValue is the pixel value written into the patch; it should sit
+	// well outside the data's usual range to be salient (default 3).
+	PatchValue float64
+}
+
+// DefaultBackdoor returns the configuration used across the experiments: a
+// 3-pixel patch of value 3 targeting class 0.
+func DefaultBackdoor() BackdoorConfig {
+	return BackdoorConfig{TargetLabel: 0, PatchSize: 3, PatchValue: 3}
+}
+
+// Validate reports configuration errors against a dataset.
+func (b BackdoorConfig) Validate(d *Dataset) error {
+	_, h, w := d.Shape()
+	if b.PatchSize <= 0 || b.PatchSize > h || b.PatchSize > w {
+		return fmt.Errorf("data: patch size %d invalid for %dx%d images", b.PatchSize, h, w)
+	}
+	if b.TargetLabel < 0 || b.TargetLabel >= d.Classes {
+		return fmt.Errorf("data: target label %d out of range [0,%d)", b.TargetLabel, d.Classes)
+	}
+	return nil
+}
+
+// stamp writes the trigger patch into sample row i of d (bottom-right
+// corner, all channels).
+func (b BackdoorConfig) stamp(d *Dataset, i int) {
+	c, h, w := d.Shape()
+	area := h * w
+	base := i * c * area
+	xd := d.X.Data()
+	for ch := 0; ch < c; ch++ {
+		for py := h - b.PatchSize; py < h; py++ {
+			for px := w - b.PatchSize; px < w; px++ {
+				xd[base+ch*area+py*w+px] = b.PatchValue
+			}
+		}
+	}
+}
+
+// Poison stamps the trigger on a random fraction of d's samples in place,
+// relabels them to TargetLabel, and returns the poisoned row indices (the
+// deletion set Df of the backdoor experiments).
+func (b BackdoorConfig) Poison(d *Dataset, frac float64, rng *rand.Rand) ([]int, error) {
+	if err := b.Validate(d); err != nil {
+		return nil, err
+	}
+	if frac <= 0 || frac > 1 {
+		return nil, fmt.Errorf("data: poison fraction %g out of (0,1]", frac)
+	}
+	n := int(float64(d.Len()) * frac)
+	if n == 0 {
+		n = 1
+	}
+	perm := rng.Perm(d.Len())[:n]
+	for _, i := range perm {
+		b.stamp(d, i)
+		d.Y[i] = b.TargetLabel
+	}
+	out := append([]int(nil), perm...)
+	return out, nil
+}
+
+// TriggerCopy returns a copy of d with the trigger stamped on every sample
+// and the original labels preserved. Samples whose true label equals
+// TargetLabel are excluded, so attack success can be measured without
+// counting samples that would be classified as the target anyway.
+func (b BackdoorConfig) TriggerCopy(d *Dataset) (*Dataset, error) {
+	if err := b.Validate(d); err != nil {
+		return nil, err
+	}
+	keep := make([]int, 0, d.Len())
+	for i, y := range d.Y {
+		if y != b.TargetLabel {
+			keep = append(keep, i)
+		}
+	}
+	if len(keep) == 0 {
+		return nil, fmt.Errorf("data: every sample has the target label %d", b.TargetLabel)
+	}
+	out := d.Subset(keep)
+	for i := range out.Y {
+		b.stamp(out, i)
+	}
+	return out, nil
+}

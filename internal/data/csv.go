@@ -1,0 +1,77 @@
+package data
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// CSV import/export lets downstream users bring their own data into the
+// framework (and inspect generated datasets). The format is one sample per
+// record: the label followed by C·H·W pixel values in NCHW order.
+
+// ToCSV writes the dataset as CSV: label, pixel0, pixel1, …
+func (d *Dataset) ToCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	c, h, wd := d.Shape()
+	rowLen := c * h * wd
+	record := make([]string, 1+rowLen)
+	xd := d.X.Data()
+	for i := 0; i < d.Len(); i++ {
+		record[0] = strconv.Itoa(d.Y[i])
+		for j, v := range xd[i*rowLen : (i+1)*rowLen] {
+			record[1+j] = strconv.FormatFloat(v, 'g', -1, 64)
+		}
+		if err := cw.Write(record); err != nil {
+			return fmt.Errorf("data: writing CSV row %d: %w", i, err)
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("data: flushing CSV: %w", err)
+	}
+	return nil
+}
+
+// FromCSV reads a dataset written by ToCSV (or produced externally in the
+// same layout) with the given sample shape and class count.
+func FromCSV(r io.Reader, channels, height, width, classes int) (*Dataset, error) {
+	if channels <= 0 || height <= 0 || width <= 0 {
+		return nil, fmt.Errorf("data: invalid sample shape %dx%dx%d", channels, height, width)
+	}
+	rowLen := channels * height * width
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = 1 + rowLen
+
+	var (
+		pixels []float64
+		labels []int
+	)
+	for line := 1; ; line++ {
+		record, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("data: reading CSV line %d: %w", line, err)
+		}
+		label, err := strconv.Atoi(record[0])
+		if err != nil {
+			return nil, fmt.Errorf("data: CSV line %d: bad label %q: %w", line, record[0], err)
+		}
+		labels = append(labels, label)
+		for j, field := range record[1:] {
+			v, err := strconv.ParseFloat(field, 64)
+			if err != nil {
+				return nil, fmt.Errorf("data: CSV line %d, pixel %d: %w", line, j, err)
+			}
+			pixels = append(pixels, v)
+		}
+	}
+	if len(labels) == 0 {
+		return nil, fmt.Errorf("data: empty CSV input")
+	}
+	x := newTensorNCHW(pixels, len(labels), channels, height, width)
+	return NewDataset(x, labels, classes)
+}

@@ -1,0 +1,156 @@
+package data
+
+import (
+	"fmt"
+	"math/rand"
+
+	"goldfish/internal/stats"
+)
+
+// PartitionIID splits the dataset uniformly at random into parts of (nearly)
+// equal size, mirroring the paper's "uniformly assigned the data ... to all
+// clients" setup.
+func PartitionIID(d *Dataset, parts int, rng *rand.Rand) ([]*Dataset, error) {
+	if parts <= 0 {
+		return nil, fmt.Errorf("data: need ≥1 partition, got %d", parts)
+	}
+	if d.Len() < parts {
+		return nil, fmt.Errorf("data: cannot split %d samples into %d parts", d.Len(), parts)
+	}
+	perm := rng.Perm(d.Len())
+	out := make([]*Dataset, parts)
+	base := d.Len() / parts
+	rem := d.Len() % parts
+	off := 0
+	for i := 0; i < parts; i++ {
+		size := base
+		if i < rem {
+			size++
+		}
+		out[i] = d.Subset(perm[off : off+size])
+		off += size
+	}
+	return out, nil
+}
+
+// PartitionHeterogeneous splits the dataset into parts with uneven sizes and
+// skewed label distributions, the paper's Fig. 8 / Table XII setting.
+// skew ∈ (0,1]: 1 keeps the split almost IID, values near 0 concentrate
+// sizes and classes heavily.
+func PartitionHeterogeneous(d *Dataset, parts int, skew float64, rng *rand.Rand) ([]*Dataset, error) {
+	if parts <= 0 {
+		return nil, fmt.Errorf("data: need ≥1 partition, got %d", parts)
+	}
+	if skew <= 0 || skew > 1 {
+		return nil, fmt.Errorf("data: skew must be in (0,1], got %g", skew)
+	}
+	if d.Len() < parts {
+		return nil, fmt.Errorf("data: cannot split %d samples into %d parts", d.Len(), parts)
+	}
+
+	// Uneven part weights: w_i ∝ skew + (1−skew)·U[0,1)³. Cubing drives
+	// weights apart as skew → 0.
+	weights := make([]float64, parts)
+	var wsum float64
+	for i := range weights {
+		u := rng.Float64()
+		weights[i] = skew + (1-skew)*u*u*u
+		wsum += weights[i]
+	}
+
+	// Per-part class preference: each part prefers a random subset of
+	// classes; with small skew, off-preference classes are heavily
+	// downweighted.
+	pref := make([][]float64, parts)
+	for i := range pref {
+		pref[i] = make([]float64, d.Classes)
+		for c := range pref[i] {
+			if rng.Float64() < 0.3 {
+				pref[i][c] = 1
+			} else {
+				pref[i][c] = skew
+			}
+		}
+	}
+
+	// Assign each sample to a part with probability ∝ weight · preference.
+	idx := make([][]int, parts)
+	probs := make([]float64, parts)
+	for s := 0; s < d.Len(); s++ {
+		var total float64
+		for i := 0; i < parts; i++ {
+			probs[i] = weights[i] * pref[i][d.Y[s]]
+			total += probs[i]
+		}
+		r := rng.Float64() * total
+		chosen := parts - 1
+		for i := 0; i < parts; i++ {
+			if r < probs[i] {
+				chosen = i
+				break
+			}
+			r -= probs[i]
+		}
+		idx[chosen] = append(idx[chosen], s)
+	}
+
+	// Guarantee non-empty parts by stealing from the largest.
+	for i := range idx {
+		for len(idx[i]) == 0 {
+			largest := 0
+			for j := range idx {
+				if len(idx[j]) > len(idx[largest]) {
+					largest = j
+				}
+			}
+			if len(idx[largest]) <= 1 {
+				return nil, fmt.Errorf("data: not enough samples to populate %d parts", parts)
+			}
+			n := len(idx[largest])
+			idx[i] = append(idx[i], idx[largest][n-1])
+			idx[largest] = idx[largest][:n-1]
+		}
+	}
+
+	out := make([]*Dataset, parts)
+	for i := range idx {
+		out[i] = d.Subset(idx[i])
+	}
+	return out, nil
+}
+
+// SizeVariance returns the variance of partition sizes, the heterogeneity
+// statistic of the paper's Table XII.
+func SizeVariance(parts []*Dataset) float64 {
+	sizes := make([]float64, len(parts))
+	for i, p := range parts {
+		sizes[i] = float64(p.Len())
+	}
+	return stats.PopulationVariance(sizes)
+}
+
+// ShardIndices partitions [0,n) into `shards` contiguous-free random shards
+// of near-equal size (SISA-style, paper Fig. 2). Every index appears in
+// exactly one shard.
+func ShardIndices(n, shards int, rng *rand.Rand) ([][]int, error) {
+	if shards <= 0 {
+		return nil, fmt.Errorf("data: need ≥1 shard, got %d", shards)
+	}
+	if n < shards {
+		return nil, fmt.Errorf("data: cannot shard %d samples into %d shards", n, shards)
+	}
+	perm := rng.Perm(n)
+	out := make([][]int, shards)
+	base := n / shards
+	rem := n % shards
+	off := 0
+	for i := 0; i < shards; i++ {
+		size := base
+		if i < rem {
+			size++
+		}
+		out[i] = append([]int(nil), perm[off:off+size]...)
+		off += size
+	}
+	return out, nil
+}

@@ -1,0 +1,216 @@
+package fed
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// LocalTrainer is the client-side training logic plugged into the federated
+// runtime — the Goldfish local procedure, a baseline, or plain local SGD.
+type LocalTrainer interface {
+	// TrainRound performs one round of local training starting from the
+	// given global parameters and returns the client's update. The global
+	// slice must not be retained or mutated.
+	TrainRound(ctx context.Context, round int, global []float64) (ModelUpdate, error)
+}
+
+// Scorer measures the quality of an uploaded parameter vector on data the
+// server holds (the paper evaluates each client's MSE on the central test
+// set, Eq. 12). Lower is better.
+type Scorer interface {
+	Score(params []float64) (float64, error)
+}
+
+// ScorerFunc adapts a function to the Scorer interface.
+type ScorerFunc func(params []float64) (float64, error)
+
+// Score implements Scorer.
+func (f ScorerFunc) Score(params []float64) (float64, error) { return f(params) }
+
+// RoundInfo is passed to the coordinator's per-round callback.
+type RoundInfo struct {
+	// Round is the completed round index.
+	Round int
+	// Global is the aggregated parameter vector after the round. Callbacks
+	// must copy it if they retain it.
+	Global []float64
+	// Updates are the client updates that went into the aggregate.
+	Updates []ModelUpdate
+	// Dropped lists client indices whose training failed this round.
+	Dropped []int
+}
+
+// CoordinatorConfig configures an in-process federation.
+type CoordinatorConfig struct {
+	// Aggregator combines updates; defaults to FedAvg.
+	Aggregator Aggregator
+	// Scorer, when set, fills each update's MSE before aggregation.
+	Scorer Scorer
+	// Rounds is the number of global rounds. Must be positive.
+	Rounds int
+	// MinClients is the minimum number of successful updates per round;
+	// fewer aborts the run. Defaults to 1.
+	MinClients int
+	// ClientFraction, when in (0,1), trains only a random subset of
+	// clients each round (standard federated client sampling, McMahan et
+	// al.); 0 or 1 trains everyone. At least one client is always sampled.
+	ClientFraction float64
+	// RoundTimeout bounds one round of local training; stragglers whose
+	// context expires are dropped for the round like crashed clients.
+	// 0 disables the bound.
+	RoundTimeout time.Duration
+	// SampleSeed drives the client-sampling randomness.
+	SampleSeed int64
+	// OnRound, when set, is invoked after every aggregation.
+	OnRound func(RoundInfo)
+}
+
+// Coordinator runs a federation fully in-process: every round it fans the
+// global model out to all trainers in parallel, gathers their updates,
+// scores and aggregates them. Failed trainers are dropped for the round
+// (crash-stop model); the run aborts only when fewer than MinClients
+// updates arrive.
+type Coordinator struct {
+	cfg      CoordinatorConfig
+	trainers []LocalTrainer
+	global   []float64
+	sampler  *rand.Rand
+}
+
+// NewCoordinator validates the configuration and initial parameters.
+func NewCoordinator(cfg CoordinatorConfig, initial []float64, trainers []LocalTrainer) (*Coordinator, error) {
+	if cfg.Rounds <= 0 {
+		return nil, fmt.Errorf("fed: rounds must be positive, got %d", cfg.Rounds)
+	}
+	if len(trainers) == 0 {
+		return nil, fmt.Errorf("fed: need at least one trainer")
+	}
+	if len(initial) == 0 {
+		return nil, fmt.Errorf("fed: empty initial parameters")
+	}
+	if cfg.Aggregator == nil {
+		cfg.Aggregator = FedAvg{}
+	}
+	if cfg.MinClients <= 0 {
+		cfg.MinClients = 1
+	}
+	if cfg.MinClients > len(trainers) {
+		return nil, fmt.Errorf("fed: MinClients %d exceeds trainer count %d", cfg.MinClients, len(trainers))
+	}
+	if cfg.ClientFraction < 0 || cfg.ClientFraction > 1 {
+		return nil, fmt.Errorf("fed: ClientFraction %g out of [0,1]", cfg.ClientFraction)
+	}
+	return &Coordinator{
+		cfg:      cfg,
+		trainers: trainers,
+		global:   append([]float64(nil), initial...),
+		sampler:  rand.New(rand.NewSource(cfg.SampleSeed + 1)),
+	}, nil
+}
+
+// sampleRound returns the trainer indices participating in a round.
+func (c *Coordinator) sampleRound() []int {
+	n := len(c.trainers)
+	all := make([]int, n)
+	for i := range all {
+		all[i] = i
+	}
+	f := c.cfg.ClientFraction
+	if f == 0 || f == 1 {
+		return all
+	}
+	k := int(float64(n) * f)
+	if k < 1 {
+		k = 1
+	}
+	c.sampler.Shuffle(n, func(i, j int) { all[i], all[j] = all[j], all[i] })
+	picked := all[:k]
+	return picked
+}
+
+// Global returns a copy of the current global parameters.
+func (c *Coordinator) Global() []float64 { return append([]float64(nil), c.global...) }
+
+// Run executes all configured rounds and returns the final global
+// parameters. It honours ctx cancellation between and during rounds.
+func (c *Coordinator) Run(ctx context.Context) ([]float64, error) {
+	for round := 0; round < c.cfg.Rounds; round++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("fed: cancelled before round %d: %w", round, err)
+		}
+		if err := c.runRound(ctx, round); err != nil {
+			return nil, err
+		}
+	}
+	return c.Global(), nil
+}
+
+func (c *Coordinator) runRound(ctx context.Context, round int) error {
+	type result struct {
+		idx    int
+		update ModelUpdate
+		err    error
+	}
+	participants := c.sampleRound()
+	roundCtx := ctx
+	if c.cfg.RoundTimeout > 0 {
+		var cancel context.CancelFunc
+		roundCtx, cancel = context.WithTimeout(ctx, c.cfg.RoundTimeout)
+		defer cancel()
+	}
+	results := make([]result, len(participants))
+	var wg sync.WaitGroup
+	for k, idx := range participants {
+		wg.Add(1)
+		go func(k, idx int) {
+			defer wg.Done()
+			// Each trainer receives its own copy of the global vector.
+			global := append([]float64(nil), c.global...)
+			u, err := c.trainers[idx].TrainRound(roundCtx, round, global)
+			results[k] = result{idx: idx, update: u, err: err}
+		}(k, idx)
+	}
+	wg.Wait()
+
+	updates := make([]ModelUpdate, 0, len(results))
+	var dropped []int
+	for _, r := range results {
+		if r.err != nil {
+			dropped = append(dropped, r.idx)
+			continue
+		}
+		updates = append(updates, r.update)
+	}
+	minOK := c.cfg.MinClients
+	if minOK > len(participants) {
+		minOK = len(participants)
+	}
+	if len(updates) < minOK {
+		return fmt.Errorf("fed: round %d: only %d/%d sampled clients succeeded (min %d)",
+			round, len(updates), len(participants), minOK)
+	}
+
+	if c.cfg.Scorer != nil {
+		for i := range updates {
+			mse, err := c.cfg.Scorer.Score(updates[i].Params)
+			if err != nil {
+				return fmt.Errorf("fed: round %d: scoring client %d: %w", round, updates[i].ClientID, err)
+			}
+			updates[i].MSE = mse
+		}
+	}
+
+	global, err := c.cfg.Aggregator.Aggregate(updates)
+	if err != nil {
+		return fmt.Errorf("fed: round %d: %w", round, err)
+	}
+	c.global = global
+
+	if c.cfg.OnRound != nil {
+		c.cfg.OnRound(RoundInfo{Round: round, Global: global, Updates: updates, Dropped: dropped})
+	}
+	return nil
+}

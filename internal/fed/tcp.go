@@ -1,0 +1,281 @@
+package fed
+
+import (
+	"context"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// Wire protocol: each connection carries a stream of gob-encoded envelopes.
+// The server waits for NumClients joins, then runs synchronous rounds:
+// broadcast msgTrain, collect one msgUpdate per client, aggregate, repeat,
+// and finish with msgDone carrying the final global model.
+
+type msgType uint8
+
+const (
+	msgJoin msgType = iota + 1
+	msgJoinAck
+	msgTrain
+	msgUpdate
+	msgDone
+	msgError
+)
+
+// envelope is the single wire message type (field presence depends on Type).
+type envelope struct {
+	Type   msgType
+	Client int
+	Round  int
+	Params []float64
+	Update ModelUpdate
+	Error  string
+}
+
+// ServerConfig configures a TCP federation server.
+type ServerConfig struct {
+	// Aggregator combines updates; defaults to FedAvg.
+	Aggregator Aggregator
+	// Scorer, when set, fills each update's MSE before aggregation.
+	Scorer Scorer
+	// Rounds is the number of global rounds. Must be positive.
+	Rounds int
+	// NumClients is the exact number of clients to wait for. Must be
+	// positive.
+	NumClients int
+	// Initial is the initial global parameter vector.
+	Initial []float64
+	// RoundTimeout bounds one full round (broadcast + collect); 0 means
+	// one minute.
+	RoundTimeout time.Duration
+	// OnRound, when set, is invoked after every aggregation.
+	OnRound func(RoundInfo)
+}
+
+// Server runs a federation over TCP.
+type Server struct {
+	cfg ServerConfig
+}
+
+// NewServer validates the configuration.
+func NewServer(cfg ServerConfig) (*Server, error) {
+	if cfg.Rounds <= 0 {
+		return nil, fmt.Errorf("fed: rounds must be positive, got %d", cfg.Rounds)
+	}
+	if cfg.NumClients <= 0 {
+		return nil, fmt.Errorf("fed: NumClients must be positive, got %d", cfg.NumClients)
+	}
+	if len(cfg.Initial) == 0 {
+		return nil, fmt.Errorf("fed: empty initial parameters")
+	}
+	if cfg.Aggregator == nil {
+		cfg.Aggregator = FedAvg{}
+	}
+	if cfg.RoundTimeout <= 0 {
+		cfg.RoundTimeout = time.Minute
+	}
+	return &Server{cfg: cfg}, nil
+}
+
+// clientConn is one connected client with its gob codecs.
+type clientConn struct {
+	id   int
+	conn net.Conn
+	enc  *gob.Encoder
+	dec  *gob.Decoder
+}
+
+// Serve accepts NumClients connections on ln, runs all rounds, distributes
+// the final model, and returns it. The listener is closed on return and
+// when ctx is cancelled.
+func (s *Server) Serve(ctx context.Context, ln net.Listener) (final []float64, err error) {
+	defer func() {
+		if cerr := ln.Close(); cerr != nil && err == nil && !errors.Is(cerr, net.ErrClosed) {
+			err = fmt.Errorf("fed: closing listener: %w", cerr)
+		}
+	}()
+
+	// Unblock Accept on cancellation.
+	stop := context.AfterFunc(ctx, func() { _ = ln.Close() })
+	defer stop()
+
+	clients := make([]*clientConn, 0, s.cfg.NumClients)
+	defer func() {
+		for _, c := range clients {
+			_ = c.conn.Close()
+		}
+	}()
+
+	for len(clients) < s.cfg.NumClients {
+		conn, aerr := ln.Accept()
+		if aerr != nil {
+			if ctx.Err() != nil {
+				return nil, fmt.Errorf("fed: cancelled while waiting for clients: %w", ctx.Err())
+			}
+			return nil, fmt.Errorf("fed: accept: %w", aerr)
+		}
+		c := &clientConn{
+			id:   len(clients),
+			conn: conn,
+			enc:  gob.NewEncoder(conn),
+			dec:  gob.NewDecoder(conn),
+		}
+		var hello envelope
+		_ = conn.SetReadDeadline(time.Now().Add(s.cfg.RoundTimeout))
+		if derr := c.dec.Decode(&hello); derr != nil || hello.Type != msgJoin {
+			_ = conn.Close()
+			continue // malformed joiner; keep waiting
+		}
+		_ = conn.SetReadDeadline(time.Time{})
+		if werr := c.enc.Encode(envelope{Type: msgJoinAck, Client: c.id}); werr != nil {
+			_ = conn.Close()
+			continue
+		}
+		clients = append(clients, c)
+	}
+
+	global := append([]float64(nil), s.cfg.Initial...)
+	for round := 0; round < s.cfg.Rounds; round++ {
+		if ctx.Err() != nil {
+			s.broadcastError(clients, "server cancelled")
+			return nil, fmt.Errorf("fed: cancelled before round %d: %w", round, ctx.Err())
+		}
+		global, err = s.runRound(clients, round, global)
+		if err != nil {
+			s.broadcastError(clients, err.Error())
+			return nil, err
+		}
+	}
+
+	for _, c := range clients {
+		if werr := c.enc.Encode(envelope{Type: msgDone, Params: global}); werr != nil {
+			return nil, fmt.Errorf("fed: sending final model to client %d: %w", c.id, werr)
+		}
+	}
+	return global, nil
+}
+
+func (s *Server) broadcastError(clients []*clientConn, msg string) {
+	for _, c := range clients {
+		_ = c.enc.Encode(envelope{Type: msgError, Error: msg})
+	}
+}
+
+func (s *Server) runRound(clients []*clientConn, round int, global []float64) ([]float64, error) {
+	deadline := time.Now().Add(s.cfg.RoundTimeout)
+	for _, c := range clients {
+		if err := c.enc.Encode(envelope{Type: msgTrain, Round: round, Params: global}); err != nil {
+			return nil, fmt.Errorf("fed: round %d: sending model to client %d: %w", round, c.id, err)
+		}
+	}
+
+	updates := make([]ModelUpdate, len(clients))
+	errs := make([]error, len(clients))
+	var wg sync.WaitGroup
+	for i, c := range clients {
+		wg.Add(1)
+		go func(i int, c *clientConn) {
+			defer wg.Done()
+			_ = c.conn.SetReadDeadline(deadline)
+			var env envelope
+			if err := c.dec.Decode(&env); err != nil {
+				errs[i] = fmt.Errorf("fed: round %d: reading update from client %d: %w", round, c.id, err)
+				return
+			}
+			if env.Type != msgUpdate {
+				errs[i] = fmt.Errorf("fed: round %d: client %d sent %d, want update", round, c.id, env.Type)
+				return
+			}
+			u := env.Update
+			u.ClientID = c.id
+			u.Round = round
+			updates[i] = u
+		}(i, c)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	if s.cfg.Scorer != nil {
+		for i := range updates {
+			mse, err := s.cfg.Scorer.Score(updates[i].Params)
+			if err != nil {
+				return nil, fmt.Errorf("fed: round %d: scoring client %d: %w", round, updates[i].ClientID, err)
+			}
+			updates[i].MSE = mse
+		}
+	}
+	next, err := s.cfg.Aggregator.Aggregate(updates)
+	if err != nil {
+		return nil, fmt.Errorf("fed: round %d: %w", round, err)
+	}
+	if s.cfg.OnRound != nil {
+		s.cfg.OnRound(RoundInfo{Round: round, Global: next, Updates: updates})
+	}
+	return next, nil
+}
+
+// RunClient connects to a federation server at addr, participates in every
+// round with the given trainer, and returns the final global model.
+func RunClient(ctx context.Context, addr string, trainer LocalTrainer) ([]float64, error) {
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("fed: dialing %s: %w", addr, err)
+	}
+	defer func() { _ = conn.Close() }()
+
+	// Unblock blocking reads/writes on cancellation.
+	stop := context.AfterFunc(ctx, func() { _ = conn.SetDeadline(time.Unix(1, 0)) })
+	defer stop()
+
+	enc := gob.NewEncoder(conn)
+	dec := gob.NewDecoder(conn)
+	if err := enc.Encode(envelope{Type: msgJoin}); err != nil {
+		return nil, fmt.Errorf("fed: sending join: %w", err)
+	}
+	var ack envelope
+	if err := dec.Decode(&ack); err != nil {
+		return nil, fmt.Errorf("fed: reading join ack: %w", err)
+	}
+	if ack.Type != msgJoinAck {
+		return nil, fmt.Errorf("fed: unexpected join reply type %d", ack.Type)
+	}
+	id := ack.Client
+
+	for {
+		var env envelope
+		if err := dec.Decode(&env); err != nil {
+			if ctx.Err() != nil {
+				return nil, fmt.Errorf("fed: cancelled: %w", ctx.Err())
+			}
+			return nil, fmt.Errorf("fed: reading server message: %w", err)
+		}
+		switch env.Type {
+		case msgTrain:
+			update, terr := trainer.TrainRound(ctx, env.Round, env.Params)
+			if terr != nil {
+				_ = enc.Encode(envelope{Type: msgError, Error: terr.Error()})
+				return nil, fmt.Errorf("fed: local training round %d: %w", env.Round, terr)
+			}
+			update.ClientID = id
+			update.Round = env.Round
+			if err := enc.Encode(envelope{Type: msgUpdate, Update: update}); err != nil {
+				return nil, fmt.Errorf("fed: sending update: %w", err)
+			}
+		case msgDone:
+			return env.Params, nil
+		case msgError:
+			return nil, fmt.Errorf("fed: server error: %s", env.Error)
+		default:
+			return nil, fmt.Errorf("fed: unexpected message type %d", env.Type)
+		}
+	}
+}

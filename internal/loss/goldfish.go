@@ -1,0 +1,89 @@
+package loss
+
+import (
+	"fmt"
+
+	"goldfish/internal/tensor"
+)
+
+// Goldfish is the composite unlearning objective of the paper (Eq. 6):
+//
+//	L = Lh + µc·Lc + µd·Ld,  Lh = Lr − Lf
+//
+// split across the two batches a training step sees. On remaining data the
+// student minimizes hard loss plus distillation from the teacher (Lr +
+// µd·Ld); on removed data it maximizes the hard loss while minimizing the
+// confusion loss (−Lf + µc·Lc).
+//
+// Setting MuC or MuD to zero disables the corresponding component, which is
+// how the Table X ablation is run. The zero value is unusable; use
+// NewGoldfish for validated construction.
+type Goldfish struct {
+	// Hard is the supervised loss plug-in (cross-entropy by default).
+	Hard Hard
+	// MuC weighs the confusion loss (paper default 0.25).
+	MuC float64
+	// MuD weighs the distillation loss (paper default 1.0).
+	MuD float64
+	// Temp is the distillation temperature (paper default 3).
+	Temp float64
+	// ForgetScale weighs the −Lf gradient-ascent term; 1 matches Eq. 1.
+	ForgetScale float64
+}
+
+// NewGoldfish returns the paper's default configuration: cross-entropy hard
+// loss, µc = 0.25, µd = 1.0, T = 3 (§IV-B, following [36]).
+func NewGoldfish() Goldfish {
+	return Goldfish{Hard: CrossEntropy{}, MuC: 0.25, MuD: 1.0, Temp: 3, ForgetScale: 1}
+}
+
+// Validate reports configuration errors.
+func (g Goldfish) Validate() error {
+	if g.Hard == nil {
+		return fmt.Errorf("loss: Goldfish requires a hard loss")
+	}
+	if g.MuC < 0 || g.MuD < 0 {
+		return fmt.Errorf("loss: negative component weight µc=%g µd=%g", g.MuC, g.MuD)
+	}
+	if g.MuD > 0 && g.Temp <= 0 {
+		return fmt.Errorf("loss: distillation enabled but temperature %g ≤ 0", g.Temp)
+	}
+	if g.ForgetScale < 0 {
+		return fmt.Errorf("loss: negative forget scale %g", g.ForgetScale)
+	}
+	return nil
+}
+
+// RetainStep evaluates the remaining-data part of the objective,
+// Lr + µd·Ld, for a batch of student logits, the teacher's logits on the
+// same batch, and the true labels. teacherLogits may be nil when MuD is 0.
+// It returns the scalar loss and its gradient w.r.t. the student logits.
+func (g Goldfish) RetainStep(studentLogits, teacherLogits *tensor.Tensor, labels []int) (float64, *tensor.Tensor) {
+	lossH, grad := g.Hard.Compute(studentLogits, labels)
+	total := lossH
+	if g.MuD > 0 {
+		if teacherLogits == nil {
+			panic("loss: RetainStep needs teacher logits when µd > 0")
+		}
+		ld, gd := Distillation(studentLogits, teacherLogits, g.Temp)
+		total += g.MuD * ld
+		grad.AXPY(g.MuD, gd)
+	}
+	return total, grad
+}
+
+// ForgetStep evaluates the removed-data part of the objective,
+// −Lf·ForgetScale + µc·Lc, for a batch of student logits on removed samples
+// with their (former) labels. It returns the scalar loss and its gradient
+// w.r.t. the student logits.
+func (g Goldfish) ForgetStep(studentLogits *tensor.Tensor, labels []int) (float64, *tensor.Tensor) {
+	lossF, gradF := g.Hard.Compute(studentLogits, labels)
+	total := -g.ForgetScale * lossF
+	grad := gradF.Scale(-g.ForgetScale)
+	if g.MuC > 0 {
+		lc, gc := Confusion(studentLogits)
+		total += g.MuC * lc
+		grad.AXPY(g.MuC, gc)
+	}
+	return total, grad
+}

@@ -1,0 +1,197 @@
+// Package metrics evaluates models for the Goldfish experiments: test
+// accuracy, backdoor attack success rate, the MSE score used by the
+// adaptive-weight aggregation (paper Eq. 12), and the model-vs-model
+// similarity statistics of Tables VII–IX (Jensen–Shannon divergence, L2
+// distance, Welch t-test over prediction confidences).
+package metrics
+
+import (
+	"fmt"
+
+	"goldfish/internal/data"
+	"goldfish/internal/nn"
+	"goldfish/internal/stats"
+	"goldfish/internal/tensor"
+)
+
+// defaultEvalBatch bounds memory use during evaluation.
+const defaultEvalBatch = 256
+
+// Probabilities runs the network over the dataset in evaluation mode and
+// returns softmax probabilities of shape (N, classes). batch ≤ 0 selects a
+// default evaluation batch size.
+func Probabilities(net *nn.Network, d *data.Dataset, batch int) *tensor.Tensor {
+	if batch <= 0 {
+		batch = defaultEvalBatch
+	}
+	n := d.Len()
+	var out *tensor.Tensor
+	for start := 0; start < n; start += batch {
+		end := start + batch
+		if end > n {
+			end = n
+		}
+		idx := make([]int, end-start)
+		for i := range idx {
+			idx[i] = start + i
+		}
+		logits := net.Forward(tensor.SliceRows(d.X, idx), false)
+		probs := tensor.SoftmaxRows(logits, 1)
+		if out == nil {
+			out = tensor.New(n, probs.Dim(1))
+		}
+		copy(out.Data()[start*probs.Dim(1):], probs.Data())
+	}
+	return out
+}
+
+// Accuracy returns the fraction of dataset samples the network classifies
+// correctly.
+func Accuracy(net *nn.Network, d *data.Dataset, batch int) float64 {
+	if d.Len() == 0 {
+		return 0
+	}
+	probs := Probabilities(net, d, batch)
+	pred := tensor.ArgMaxRows(probs)
+	correct := 0
+	for i, p := range pred {
+		if p == d.Y[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(d.Len())
+}
+
+// AttackSuccessRate measures the backdoor attack success rate: the fraction
+// of trigger-stamped samples classified as the attack target. The triggered
+// dataset should come from BackdoorConfig.TriggerCopy, which already
+// excludes samples whose true label is the target.
+func AttackSuccessRate(net *nn.Network, triggered *data.Dataset, target int, batch int) float64 {
+	if triggered.Len() == 0 {
+		return 0
+	}
+	probs := Probabilities(net, triggered, batch)
+	pred := tensor.ArgMaxRows(probs)
+	hits := 0
+	for _, p := range pred {
+		if p == target {
+			hits++
+		}
+	}
+	return float64(hits) / float64(triggered.Len())
+}
+
+// MSE returns the mean squared error between the network's softmax outputs
+// and the one-hot labels over the dataset — the model-quality score the
+// adaptive-weight aggregation uses (paper Eq. 12).
+func MSE(net *nn.Network, d *data.Dataset, batch int) float64 {
+	if d.Len() == 0 {
+		return 0
+	}
+	probs := Probabilities(net, d, batch)
+	c := probs.Dim(1)
+	var total float64
+	pd := probs.Data()
+	for i := 0; i < d.Len(); i++ {
+		row := pd[i*c : (i+1)*c]
+		for j, p := range row {
+			target := 0.0
+			if j == d.Y[i] {
+				target = 1
+			}
+			diff := p - target
+			total += diff * diff
+		}
+	}
+	return total / float64(d.Len()*c)
+}
+
+// Divergence holds the model-similarity statistics of Tables VII–IX
+// comparing an unlearned model against a reference (retrained) model.
+type Divergence struct {
+	// JSD is the mean per-sample Jensen–Shannon divergence between the two
+	// models' predictive distributions (nats, ≤ ln 2).
+	JSD float64
+	// L2 is the mean per-sample Euclidean distance between the two models'
+	// probability vectors.
+	L2 float64
+}
+
+// ModelDivergence computes JSD and L2 between the predictive distributions
+// of models a and b over the dataset.
+func ModelDivergence(a, b *nn.Network, d *data.Dataset, batch int) (Divergence, error) {
+	if d.Len() == 0 {
+		return Divergence{}, fmt.Errorf("metrics: empty probe dataset")
+	}
+	pa := Probabilities(a, d, batch)
+	pb := Probabilities(b, d, batch)
+	if pa.Dim(1) != pb.Dim(1) {
+		return Divergence{}, fmt.Errorf("metrics: class count mismatch %d vs %d", pa.Dim(1), pb.Dim(1))
+	}
+	var sumJSD, sumL2 float64
+	for i := 0; i < d.Len(); i++ {
+		jsd, err := stats.JSDivergence(pa.Row(i), pb.Row(i))
+		if err != nil {
+			return Divergence{}, fmt.Errorf("metrics: JSD at row %d: %w", i, err)
+		}
+		l2, err := stats.L2Distance(pa.Row(i), pb.Row(i))
+		if err != nil {
+			return Divergence{}, fmt.Errorf("metrics: L2 at row %d: %w", i, err)
+		}
+		sumJSD += jsd
+		sumL2 += l2
+	}
+	n := float64(d.Len())
+	return Divergence{JSD: sumJSD / n, L2: sumL2 / n}, nil
+}
+
+// TopConfidences returns each sample's maximum predicted probability — the
+// per-sample statistic the t-test compares.
+func TopConfidences(net *nn.Network, d *data.Dataset, batch int) []float64 {
+	probs := Probabilities(net, d, batch)
+	c := probs.Dim(1)
+	out := make([]float64, d.Len())
+	for i := range out {
+		row := probs.Data()[i*c : (i+1)*c]
+		best := row[0]
+		for _, v := range row[1:] {
+			if v > best {
+				best = v
+			}
+		}
+		out[i] = best
+	}
+	return out
+}
+
+// ConfidenceTTest runs Welch's t-test on the per-sample top confidences of
+// models a and b over the dataset, answering "are the two models' prediction
+// patterns statistically distinguishable?" (paper Tables VII–IX).
+func ConfidenceTTest(a, b *nn.Network, d *data.Dataset, batch int) (stats.TTestResult, error) {
+	if d.Len() < 2 {
+		return stats.TTestResult{}, fmt.Errorf("metrics: t-test needs ≥2 probe samples, got %d", d.Len())
+	}
+	ca := TopConfidences(a, d, batch)
+	cb := TopConfidences(b, d, batch)
+	res, err := stats.WelchTTest(ca, cb)
+	if err != nil {
+		return stats.TTestResult{}, fmt.Errorf("metrics: %w", err)
+	}
+	return res, nil
+}
+
+// MembershipGap estimates how much a model still "remembers" specific
+// samples: the difference between its mean top-confidence on those samples
+// and on a held-out probe set of the same distribution. A model that
+// memorized the target samples is systematically more confident on them
+// (positive gap) — the confidence-based membership-inference signal the
+// unlearning literature uses as a validity check; a well-unlearned model's
+// gap returns towards zero.
+func MembershipGap(net *nn.Network, target, probe *data.Dataset, batch int) float64 {
+	if target.Len() == 0 || probe.Len() == 0 {
+		return 0
+	}
+	tc := TopConfidences(net, target, batch)
+	pc := TopConfidences(net, probe, batch)
+	return stats.Mean(tc) - stats.Mean(pc)
+}

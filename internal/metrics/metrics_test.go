@@ -1,0 +1,237 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"goldfish/internal/data"
+	"goldfish/internal/nn"
+	"goldfish/internal/tensor"
+)
+
+// perfectNet builds a network whose logit for class c is 10·x[0,0,c]: with
+// readoutSet datasets below it classifies perfectly.
+func perfectNet(t *testing.T, classes int) *nn.Network {
+	t.Helper()
+	rng := rand.New(rand.NewSource(1))
+	d := nn.NewDense(classes*4, classes, rng)
+	for _, p := range d.Params() {
+		p.W.Zero()
+	}
+	// Weight row c reads input element c.
+	w := d.Params()[0].W
+	for c := 0; c < classes; c++ {
+		w.Set(10, c, c)
+	}
+	return nn.NewNetwork(nn.NewFlatten(), d)
+}
+
+// readoutSet builds a dataset where sample i of class y has x[0,0,y]=1 and
+// zeros elsewhere, shaped (n, 1, 2, classes*2).
+func readoutSet(t *testing.T, n, classes int, seed int64) *data.Dataset {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	x := tensor.New(n, 1, 2, classes*2)
+	y := make([]int, n)
+	for i := range y {
+		y[i] = rng.Intn(classes)
+		x.Set(1, i, 0, 0, y[i])
+	}
+	d, err := data.NewDataset(x, y, classes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestAccuracyPerfectAndBroken(t *testing.T) {
+	classes := 4
+	d := readoutSet(t, 40, classes, 2)
+	net := perfectNet(t, classes)
+	if got := Accuracy(net, d, 16); got != 1 {
+		t.Errorf("perfect net accuracy = %g, want 1", got)
+	}
+	// Zeroed network: uniform logits, argmax is class 0 everywhere.
+	zero := perfectNet(t, classes)
+	for _, p := range zero.Params() {
+		p.W.Zero()
+	}
+	acc := Accuracy(zero, d, 16)
+	want := float64(countLabel(d, 0)) / float64(d.Len())
+	if math.Abs(acc-want) > 1e-12 {
+		t.Errorf("zero net accuracy = %g, want %g", acc, want)
+	}
+}
+
+func countLabel(d *data.Dataset, y int) int {
+	n := 0
+	for _, label := range d.Y {
+		if label == y {
+			n++
+		}
+	}
+	return n
+}
+
+func TestAccuracyEmptyDataset(t *testing.T) {
+	classes := 3
+	d := readoutSet(t, 5, classes, 3)
+	empty := d.Subset(nil)
+	if got := Accuracy(perfectNet(t, classes), empty, 4); got != 0 {
+		t.Errorf("empty dataset accuracy = %g, want 0", got)
+	}
+}
+
+func TestProbabilitiesRowsSumToOne(t *testing.T) {
+	classes := 5
+	d := readoutSet(t, 23, classes, 4)
+	probs := Probabilities(perfectNet(t, classes), d, 7) // odd batch to hit remainder
+	for i := 0; i < d.Len(); i++ {
+		var s float64
+		for _, v := range probs.Row(i) {
+			s += v
+		}
+		if math.Abs(s-1) > 1e-9 {
+			t.Fatalf("row %d sums to %g", i, s)
+		}
+	}
+}
+
+func TestAttackSuccessRate(t *testing.T) {
+	classes := 4
+	d := readoutSet(t, 30, classes, 5)
+	// A network that always answers class 2.
+	rng := rand.New(rand.NewSource(6))
+	always2 := nn.NewNetwork(nn.NewFlatten(), nn.NewDense(classes*4, classes, rng))
+	for _, p := range always2.Params() {
+		p.W.Zero()
+	}
+	always2.Params()[1].W.Set(10, 2) // bias of class 2
+	if got := AttackSuccessRate(always2, d, 2, 8); got != 1 {
+		t.Errorf("ASR = %g, want 1", got)
+	}
+	if got := AttackSuccessRate(always2, d, 1, 8); got != 0 {
+		t.Errorf("ASR for non-predicted target = %g, want 0", got)
+	}
+	if got := AttackSuccessRate(always2, d.Subset(nil), 2, 8); got != 0 {
+		t.Errorf("ASR on empty set = %g, want 0", got)
+	}
+}
+
+func TestMSEBounds(t *testing.T) {
+	classes := 4
+	d := readoutSet(t, 20, classes, 7)
+	good := MSE(perfectNet(t, classes), d, 8)
+	zero := perfectNet(t, classes)
+	for _, p := range zero.Params() {
+		p.W.Zero()
+	}
+	bad := MSE(zero, d, 8)
+	if good >= bad {
+		t.Errorf("perfect net MSE %g should be below uniform net MSE %g", good, bad)
+	}
+	if good < 0 || bad < 0 {
+		t.Error("MSE must be non-negative")
+	}
+}
+
+func TestModelDivergenceIdenticalModels(t *testing.T) {
+	classes := 3
+	d := readoutSet(t, 15, classes, 8)
+	net := perfectNet(t, classes)
+	div, err := ModelDivergence(net, net, d, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if div.JSD > 1e-10 || div.L2 > 1e-10 {
+		t.Errorf("identical models should have zero divergence, got %+v", div)
+	}
+}
+
+func TestModelDivergenceDifferentModels(t *testing.T) {
+	classes := 3
+	d := readoutSet(t, 15, classes, 9)
+	a := perfectNet(t, classes)
+	b := perfectNet(t, classes)
+	// Flip b towards class 0 everywhere.
+	b.Params()[1].W.Set(25, 0)
+	div, err := ModelDivergence(a, b, d, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if div.JSD <= 0.01 || div.L2 <= 0.01 {
+		t.Errorf("different models should diverge, got %+v", div)
+	}
+	if div.JSD > math.Ln2+1e-9 {
+		t.Errorf("JSD %g exceeds ln 2", div.JSD)
+	}
+	if _, err := ModelDivergence(a, b, d.Subset(nil), 8); err == nil {
+		t.Error("empty probe set accepted")
+	}
+}
+
+func TestConfidenceTTest(t *testing.T) {
+	classes := 3
+	d := readoutSet(t, 40, classes, 10)
+	a := perfectNet(t, classes) // confident
+	b := perfectNet(t, classes)
+	for _, p := range b.Params() {
+		p.W.ScaleInPlace(0.01) // near-uniform, low confidence
+	}
+	res, err := ConfidenceTTest(a, b, d, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P > 0.01 {
+		t.Errorf("clearly different confidence patterns: p = %g, want < 0.01", res.P)
+	}
+	same, err := ConfidenceTTest(a, a, d, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if same.P != 1 {
+		t.Errorf("identical models: p = %g, want 1", same.P)
+	}
+	if _, err := ConfidenceTTest(a, b, d.Subset([]int{0}), 16); err == nil {
+		t.Error("single-sample probe accepted")
+	}
+}
+
+func TestTopConfidences(t *testing.T) {
+	classes := 4
+	d := readoutSet(t, 10, classes, 11)
+	conf := TopConfidences(perfectNet(t, classes), d, 4)
+	if len(conf) != 10 {
+		t.Fatalf("got %d confidences", len(conf))
+	}
+	for _, c := range conf {
+		if c < 1.0/float64(classes) || c > 1 {
+			t.Errorf("confidence %g out of range", c)
+		}
+	}
+}
+
+func TestMembershipGap(t *testing.T) {
+	classes := 4
+	members := readoutSet(t, 30, classes, 20)
+	// Probe set: pure noise images the readout net is unconfident on.
+	rng := rand.New(rand.NewSource(21))
+	noise := tensor.New(30, 1, 2, classes*2).RandNormal(rng, 0, 0.05)
+	labels := make([]int, 30)
+	probe, err := data.NewDataset(noise, labels, classes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := perfectNet(t, classes)
+	gap := MembershipGap(net, members, probe, 8)
+	if gap < 0.1 {
+		t.Errorf("confident-on-members model should show positive gap, got %g", gap)
+	}
+	if self := MembershipGap(net, members, members, 8); math.Abs(self) > 1e-12 {
+		t.Errorf("gap against itself = %g, want 0", self)
+	}
+	if empty := MembershipGap(net, members.Subset(nil), probe, 8); empty != 0 {
+		t.Errorf("empty target gap = %g, want 0", empty)
+	}
+}

@@ -1,0 +1,218 @@
+// Package model provides the model zoo used by the Goldfish evaluation:
+// LeNet-5 and a modified LeNet-5 (as in the paper's MNIST/FMNIST/CIFAR-10
+// experiments), CIFAR-style ResNet-32 and ResNet-56, and a small MLP used by
+// fast tests.
+//
+// Architectures keep the paper's exact topology (layer counts, residual
+// wiring). Because this reproduction trains in pure Go on CPUs, Config.Width
+// scales channel widths and Config.DepthN can shrink the residual stages,
+// producing the same shape of network at a tractable cost; the defaults are
+// the paper's dimensions.
+package model
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"goldfish/internal/nn"
+)
+
+// Arch identifies a network architecture from the paper.
+type Arch string
+
+// Architectures used in the paper's evaluation (§IV-A "Models").
+const (
+	// ArchLeNet5 is the traditional LeNet-5: 2 conv, 2 max-pool, 2 FC.
+	ArchLeNet5 Arch = "lenet5"
+	// ArchLeNet5Mod is the modified LeNet-5 for CIFAR-10: 2 conv, 2
+	// max-pool, 3 FC.
+	ArchLeNet5Mod Arch = "lenet5mod"
+	// ArchResNet32 is the CIFAR ResNet with 6n+2 layers, n=5.
+	ArchResNet32 Arch = "resnet32"
+	// ArchResNet56 is the CIFAR ResNet with 6n+2 layers, n=9.
+	ArchResNet56 Arch = "resnet56"
+	// ArchMLP is a small two-layer perceptron used by fast tests and the
+	// quickstart example (not from the paper).
+	ArchMLP Arch = "mlp"
+)
+
+// Config describes a network to build.
+type Config struct {
+	Arch    Arch
+	InC     int // input channels (1 for MNIST-like, 3 for CIFAR-like)
+	InH     int // input height
+	InW     int // input width
+	Classes int // number of output classes
+
+	// Width scales all channel/hidden widths; 0 means 1.0 (paper widths).
+	Width float64
+	// DepthN overrides the residual blocks per stage for ResNets; 0 keeps
+	// the paper depth (5 for ResNet-32, 9 for ResNet-56).
+	DepthN int
+	// Seed drives deterministic weight initialization.
+	Seed int64
+}
+
+func (c Config) validate() error {
+	if c.InC <= 0 || c.InH <= 0 || c.InW <= 0 {
+		return fmt.Errorf("model: invalid input shape %dx%dx%d", c.InC, c.InH, c.InW)
+	}
+	if c.Classes < 2 {
+		return fmt.Errorf("model: need ≥2 classes, got %d", c.Classes)
+	}
+	if c.Width < 0 {
+		return fmt.Errorf("model: negative width multiplier %g", c.Width)
+	}
+	if c.DepthN < 0 {
+		return fmt.Errorf("model: negative depth override %d", c.DepthN)
+	}
+	return nil
+}
+
+// width returns the effective multiplier.
+func (c Config) width() float64 {
+	if c.Width == 0 {
+		return 1
+	}
+	return c.Width
+}
+
+// scaled returns max(1, round(base·width)).
+func (c Config) scaled(base int) int {
+	v := int(math.Round(float64(base) * c.width()))
+	if v < 1 {
+		return 1
+	}
+	return v
+}
+
+// Build constructs the network described by cfg.
+func Build(cfg Config) (*nn.Network, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	switch cfg.Arch {
+	case ArchLeNet5:
+		return buildLeNet5(cfg, rng, false)
+	case ArchLeNet5Mod:
+		return buildLeNet5(cfg, rng, true)
+	case ArchResNet32:
+		n := cfg.DepthN
+		if n == 0 {
+			n = 5
+		}
+		return buildResNet(cfg, rng, n)
+	case ArchResNet56:
+		n := cfg.DepthN
+		if n == 0 {
+			n = 9
+		}
+		return buildResNet(cfg, rng, n)
+	case ArchMLP:
+		return buildMLP(cfg, rng)
+	default:
+		return nil, fmt.Errorf("model: unknown architecture %q", cfg.Arch)
+	}
+}
+
+// MustBuild is Build that panics on error, for tests and examples with
+// hard-coded valid configs.
+func MustBuild(cfg Config) *nn.Network {
+	net, err := Build(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return net
+}
+
+// buildLeNet5 constructs LeNet-5 (modified=false: two FC layers) or the
+// paper's modified LeNet-5 (modified=true: three FC layers).
+func buildLeNet5(cfg Config, rng *rand.Rand, modified bool) (*nn.Network, error) {
+	c1 := cfg.scaled(6)
+	c2 := cfg.scaled(16)
+	// conv k5 pad2 stride1 preserves size; pool halves; conv k5 pad0
+	// shrinks by 4; pool halves.
+	h := cfg.InH
+	w := cfg.InW
+	h, w = h/2, w/2 // after pool1
+	h, w = h-4, w-4 // after conv2
+	if h <= 0 || w <= 0 {
+		return nil, fmt.Errorf("model: input %dx%d too small for LeNet-5", cfg.InH, cfg.InW)
+	}
+	h, w = h/2, w/2 // after pool2
+	if h <= 0 || w <= 0 {
+		return nil, fmt.Errorf("model: input %dx%d too small for LeNet-5", cfg.InH, cfg.InW)
+	}
+	flat := c2 * h * w
+	net := nn.NewNetwork(
+		nn.NewConv2D(cfg.InC, c1, 5, 1, 2, rng),
+		nn.NewReLU(),
+		nn.NewMaxPool2D(2),
+		nn.NewConv2D(c1, c2, 5, 1, 0, rng),
+		nn.NewReLU(),
+		nn.NewMaxPool2D(2),
+		nn.NewFlatten(),
+	)
+	f1 := cfg.scaled(120)
+	if modified {
+		f2 := cfg.scaled(84)
+		net.Add(
+			nn.NewDense(flat, f1, rng),
+			nn.NewReLU(),
+			nn.NewDense(f1, f2, rng),
+			nn.NewReLU(),
+			nn.NewDense(f2, cfg.Classes, rng),
+		)
+	} else {
+		net.Add(
+			nn.NewDense(flat, f1, rng),
+			nn.NewReLU(),
+			nn.NewDense(f1, cfg.Classes, rng),
+		)
+	}
+	return net, nil
+}
+
+// buildResNet constructs a CIFAR-style ResNet with three stages of n basic
+// blocks at widths 16/32/64 (scaled), total depth 6n+2.
+func buildResNet(cfg Config, rng *rand.Rand, n int) (*nn.Network, error) {
+	if cfg.InH < 4 || cfg.InW < 4 {
+		return nil, fmt.Errorf("model: input %dx%d too small for ResNet", cfg.InH, cfg.InW)
+	}
+	w1 := cfg.scaled(16)
+	w2 := cfg.scaled(32)
+	w3 := cfg.scaled(64)
+	net := nn.NewNetwork(
+		nn.NewConv2D(cfg.InC, w1, 3, 1, 1, rng),
+		nn.NewBatchNorm2D(w1),
+		nn.NewReLU(),
+	)
+	stage := func(inC, outC, blocks, firstStride int) {
+		net.Add(nn.NewResidual(inC, outC, firstStride, rng))
+		for i := 1; i < blocks; i++ {
+			net.Add(nn.NewResidual(outC, outC, 1, rng))
+		}
+	}
+	stage(w1, w1, n, 1)
+	stage(w1, w2, n, 2)
+	stage(w2, w3, n, 2)
+	net.Add(
+		nn.NewGlobalAvgPool2D(),
+		nn.NewDense(w3, cfg.Classes, rng),
+	)
+	return net, nil
+}
+
+// buildMLP constructs flatten → dense → relu → dense.
+func buildMLP(cfg Config, rng *rand.Rand) (*nn.Network, error) {
+	in := cfg.InC * cfg.InH * cfg.InW
+	hidden := cfg.scaled(64)
+	return nn.NewNetwork(
+		nn.NewFlatten(),
+		nn.NewDense(in, hidden, rng),
+		nn.NewReLU(),
+		nn.NewDense(hidden, cfg.Classes, rng),
+	), nil
+}

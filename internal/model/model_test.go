@@ -1,0 +1,132 @@
+package model
+
+import (
+	"math/rand"
+	"testing"
+
+	"goldfish/internal/tensor"
+)
+
+func TestBuildLeNet5Shapes(t *testing.T) {
+	net, err := Build(Config{Arch: ArchLeNet5, InC: 1, InH: 28, InW: 28, Classes: 10, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	x := tensor.New(2, 1, 28, 28).RandNormal(rng, 0, 1)
+	out := net.Forward(x, false)
+	if out.Dim(0) != 2 || out.Dim(1) != 10 {
+		t.Fatalf("LeNet5 output shape = %v, want (2,10)", out.Shape())
+	}
+}
+
+func TestBuildLeNet5ModShapes(t *testing.T) {
+	net, err := Build(Config{Arch: ArchLeNet5Mod, InC: 3, InH: 32, InW: 32, Classes: 10, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	x := tensor.New(1, 3, 32, 32).RandNormal(rng, 0, 1)
+	out := net.Forward(x, false)
+	if out.Dim(1) != 10 {
+		t.Fatalf("LeNet5Mod output shape = %v", out.Shape())
+	}
+	// Modified variant has one more Dense layer than the base LeNet-5.
+	base := MustBuild(Config{Arch: ArchLeNet5, InC: 3, InH: 32, InW: 32, Classes: 10, Seed: 2})
+	if len(net.Params()) != len(base.Params())+2 {
+		t.Errorf("modified LeNet-5 should add exactly one Dense layer (2 params); got %d vs %d",
+			len(net.Params()), len(base.Params()))
+	}
+}
+
+func TestBuildResNet32Depth(t *testing.T) {
+	// Scaled-down widths keep the test fast; topology is unchanged.
+	net, err := Build(Config{Arch: ArchResNet32, InC: 3, InH: 16, InW: 16, Classes: 10, Width: 0.25, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 6n+2 with n=5: 15 residual blocks + stem conv/bn + final dense.
+	// Count conv params: stem (1) + 2 per block + projection blocks (2 extra
+	// convs across stage transitions).
+	rng := rand.New(rand.NewSource(3))
+	x := tensor.New(1, 3, 16, 16).RandNormal(rng, 0, 1)
+	out := net.Forward(x, false)
+	if out.Dim(1) != 10 {
+		t.Fatalf("ResNet32 output shape = %v", out.Shape())
+	}
+}
+
+func TestResNetDepthOverride(t *testing.T) {
+	shallow := MustBuild(Config{Arch: ArchResNet32, InC: 1, InH: 8, InW: 8, Classes: 4, Width: 0.25, DepthN: 1, Seed: 4})
+	deep := MustBuild(Config{Arch: ArchResNet32, InC: 1, InH: 8, InW: 8, Classes: 4, Width: 0.25, DepthN: 2, Seed: 4})
+	if shallow.NumParams() >= deep.NumParams() {
+		t.Errorf("DepthN=1 (%d params) should be smaller than DepthN=2 (%d params)",
+			shallow.NumParams(), deep.NumParams())
+	}
+}
+
+func TestResNet56DeeperThan32(t *testing.T) {
+	r32 := MustBuild(Config{Arch: ArchResNet32, InC: 1, InH: 8, InW: 8, Classes: 4, Width: 0.25, Seed: 5})
+	r56 := MustBuild(Config{Arch: ArchResNet56, InC: 1, InH: 8, InW: 8, Classes: 4, Width: 0.25, Seed: 5})
+	if r56.NumParams() <= r32.NumParams() {
+		t.Errorf("ResNet56 (%d) should have more params than ResNet32 (%d)",
+			r56.NumParams(), r32.NumParams())
+	}
+}
+
+func TestBuildMLP(t *testing.T) {
+	net := MustBuild(Config{Arch: ArchMLP, InC: 1, InH: 4, InW: 4, Classes: 3, Seed: 6})
+	rng := rand.New(rand.NewSource(6))
+	x := tensor.New(5, 1, 4, 4).RandNormal(rng, 0, 1)
+	out := net.Forward(x, false)
+	if out.Dim(0) != 5 || out.Dim(1) != 3 {
+		t.Fatalf("MLP output shape = %v", out.Shape())
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	cases := []Config{
+		{Arch: "nope", InC: 1, InH: 8, InW: 8, Classes: 2},
+		{Arch: ArchMLP, InC: 0, InH: 8, InW: 8, Classes: 2},
+		{Arch: ArchMLP, InC: 1, InH: 8, InW: 8, Classes: 1},
+		{Arch: ArchLeNet5, InC: 1, InH: 4, InW: 4, Classes: 2}, // too small
+		{Arch: ArchMLP, InC: 1, InH: 8, InW: 8, Classes: 2, Width: -1},
+		{Arch: ArchResNet32, InC: 1, InH: 2, InW: 2, Classes: 2}, // too small
+	}
+	for i, c := range cases {
+		if _, err := Build(c); err == nil {
+			t.Errorf("case %d: expected error for config %+v", i, c)
+		}
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	cfg := Config{Arch: ArchLeNet5, InC: 1, InH: 14, InW: 14, Classes: 10, Seed: 42}
+	a := MustBuild(cfg)
+	b := MustBuild(cfg)
+	av, bv := a.ParamVector(), b.ParamVector()
+	for i := range av {
+		if av[i] != bv[i] {
+			t.Fatal("same config must build identical networks")
+		}
+	}
+}
+
+func TestWidthScaling(t *testing.T) {
+	narrow := MustBuild(Config{Arch: ArchLeNet5, InC: 1, InH: 14, InW: 14, Classes: 10, Width: 0.5, Seed: 7})
+	wide := MustBuild(Config{Arch: ArchLeNet5, InC: 1, InH: 14, InW: 14, Classes: 10, Width: 1, Seed: 7})
+	if narrow.NumParams() >= wide.NumParams() {
+		t.Errorf("width 0.5 (%d params) should be smaller than width 1 (%d params)",
+			narrow.NumParams(), wide.NumParams())
+	}
+}
+
+func TestSmallInputLeNet(t *testing.T) {
+	// 14x14 is the default bench scale; must produce a valid network.
+	net := MustBuild(Config{Arch: ArchLeNet5, InC: 1, InH: 14, InW: 14, Classes: 10, Seed: 8})
+	x := tensor.New(3, 1, 14, 14).Fill(0.5)
+	out := net.Forward(x, false)
+	if out.Dim(1) != 10 {
+		t.Fatalf("output shape = %v", out.Shape())
+	}
+}

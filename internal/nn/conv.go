@@ -1,0 +1,218 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"goldfish/internal/tensor"
+)
+
+// Conv2D is a 2-D convolution over NCHW inputs with square kernels, uniform
+// stride and zero padding. Weights have shape (outC, inC, k, k).
+type Conv2D struct {
+	InC, OutC    int
+	Kernel       int
+	Stride       int
+	Pad          int
+	w, b         *Param
+	cols         *tensor.Tensor // cached im2col matrix for Backward
+	inH, inW     int
+	outH, outW   int
+	cachedBatch  int
+	cachedShapes bool
+}
+
+var _ Layer = (*Conv2D)(nil)
+
+// NewConv2D creates a convolution layer with He-normal initialized weights.
+func NewConv2D(inC, outC, kernel, stride, pad int, rng *rand.Rand) *Conv2D {
+	if inC <= 0 || outC <= 0 || kernel <= 0 || stride <= 0 || pad < 0 {
+		panic(fmt.Sprintf("nn: invalid Conv2D config inC=%d outC=%d k=%d s=%d p=%d",
+			inC, outC, kernel, stride, pad))
+	}
+	w := tensor.New(outC, inC, kernel, kernel)
+	heInit(w, inC*kernel*kernel, rng)
+	return &Conv2D{
+		InC:    inC,
+		OutC:   outC,
+		Kernel: kernel,
+		Stride: stride,
+		Pad:    pad,
+		w:      newParam("conv.w", w),
+		b:      newParam("conv.b", tensor.New(outC)),
+	}
+}
+
+// OutSize returns the spatial output size for a given input size.
+func (c *Conv2D) OutSize(in int) int {
+	return (in+2*c.Pad-c.Kernel)/c.Stride + 1
+}
+
+// Forward implements Layer using im2col + matrix multiplication.
+func (c *Conv2D) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
+	if x.Dims() != 4 || x.Dim(1) != c.InC {
+		panic(fmt.Sprintf("nn: Conv2D(inC=%d) got input shape %v", c.InC, x.Shape()))
+	}
+	n, h, w := x.Dim(0), x.Dim(2), x.Dim(3)
+	oh, ow := c.OutSize(h), c.OutSize(w)
+	if oh <= 0 || ow <= 0 {
+		panic(fmt.Sprintf("nn: Conv2D produces empty output for input %v", x.Shape()))
+	}
+	c.inH, c.inW, c.outH, c.outW, c.cachedBatch = h, w, oh, ow, n
+	c.cachedShapes = true
+
+	// cols: (inC*k*k, n*oh*ow)
+	cols := im2col(x, c.Kernel, c.Stride, c.Pad, oh, ow)
+	c.cols = cols
+	wmat := c.w.W.Reshape(c.OutC, c.InC*c.Kernel*c.Kernel)
+	prod := tensor.MatMul(wmat, cols) // (outC, n*oh*ow)
+
+	out := tensor.New(n, c.OutC, oh, ow)
+	od := out.Data()
+	pd := prod.Data()
+	bd := c.b.W.Data()
+	spatial := oh * ow
+	for oc := 0; oc < c.OutC; oc++ {
+		prow := pd[oc*n*spatial : (oc+1)*n*spatial]
+		bias := bd[oc]
+		for i := 0; i < n; i++ {
+			dst := od[(i*c.OutC+oc)*spatial : (i*c.OutC+oc+1)*spatial]
+			src := prow[i*spatial : (i+1)*spatial]
+			for j, v := range src {
+				dst[j] = v + bias
+			}
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (c *Conv2D) Backward(dout *tensor.Tensor) *tensor.Tensor {
+	if !c.cachedShapes {
+		panic("nn: Conv2D.Backward called before Forward")
+	}
+	n, oh, ow := c.cachedBatch, c.outH, c.outW
+	spatial := oh * ow
+
+	// Rearrange dout (n, outC, oh, ow) into (outC, n*oh*ow) to mirror prod.
+	dprod := tensor.New(c.OutC, n*spatial)
+	dd := dout.Data()
+	dpd := dprod.Data()
+	for oc := 0; oc < c.OutC; oc++ {
+		drow := dpd[oc*n*spatial : (oc+1)*n*spatial]
+		for i := 0; i < n; i++ {
+			src := dd[(i*c.OutC+oc)*spatial : (i*c.OutC+oc+1)*spatial]
+			copy(drow[i*spatial:(i+1)*spatial], src)
+		}
+	}
+
+	// Bias gradient: sum over all positions per output channel.
+	bg := c.b.G.Data()
+	for oc := 0; oc < c.OutC; oc++ {
+		var s float64
+		for _, v := range dpd[oc*n*spatial : (oc+1)*n*spatial] {
+			s += v
+		}
+		bg[oc] += s
+	}
+
+	// Weight gradient: dW = dprod · colsᵀ, shaped back to (outC, inC, k, k).
+	dw := tensor.MatMulTransB(dprod, c.cols) // (outC, inC*k*k)
+	c.w.G.AddInPlace(dw.Reshape(c.w.G.Shape()...))
+
+	// Input gradient: dcols = Wᵀ · dprod, then col2im.
+	wmat := c.w.W.Reshape(c.OutC, c.InC*c.Kernel*c.Kernel)
+	dcols := tensor.MatMulTransA(wmat, dprod) // (inC*k*k, n*oh*ow)
+	return col2im(dcols, n, c.InC, c.inH, c.inW, c.Kernel, c.Stride, c.Pad, oh, ow)
+}
+
+// Params implements Layer.
+func (c *Conv2D) Params() []*Param { return []*Param{c.w, c.b} }
+
+// Clone implements Layer.
+func (c *Conv2D) Clone() Layer {
+	return &Conv2D{
+		InC:    c.InC,
+		OutC:   c.OutC,
+		Kernel: c.Kernel,
+		Stride: c.Stride,
+		Pad:    c.Pad,
+		w:      newParam(c.w.Name, c.w.W.Clone()),
+		b:      newParam(c.b.Name, c.b.W.Clone()),
+	}
+}
+
+// im2col unrolls x (n, inC, h, w) into a matrix of shape
+// (inC*k*k, n*oh*ow) where each column is one receptive field.
+func im2col(x *tensor.Tensor, k, stride, pad, oh, ow int) *tensor.Tensor {
+	n, inC, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	cols := tensor.New(inC*k*k, n*oh*ow)
+	xd := x.Data()
+	cd := cols.Data()
+	colW := n * oh * ow
+	for ic := 0; ic < inC; ic++ {
+		for ky := 0; ky < k; ky++ {
+			for kx := 0; kx < k; kx++ {
+				rowIdx := (ic*k+ky)*k + kx
+				crow := cd[rowIdx*colW : (rowIdx+1)*colW]
+				for i := 0; i < n; i++ {
+					base := (i*inC + ic) * h * w
+					for oy := 0; oy < oh; oy++ {
+						iy := oy*stride + ky - pad
+						dst := crow[(i*oh+oy)*ow : (i*oh+oy+1)*ow]
+						if iy < 0 || iy >= h {
+							for j := range dst {
+								dst[j] = 0
+							}
+							continue
+						}
+						for ox := 0; ox < ow; ox++ {
+							ix := ox*stride + kx - pad
+							if ix < 0 || ix >= w {
+								dst[ox] = 0
+							} else {
+								dst[ox] = xd[base+iy*w+ix]
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return cols
+}
+
+// col2im scatters a column matrix back into an (n, inC, h, w) tensor,
+// accumulating overlapping contributions.
+func col2im(cols *tensor.Tensor, n, inC, h, w, k, stride, pad, oh, ow int) *tensor.Tensor {
+	out := tensor.New(n, inC, h, w)
+	od := out.Data()
+	cd := cols.Data()
+	colW := n * oh * ow
+	for ic := 0; ic < inC; ic++ {
+		for ky := 0; ky < k; ky++ {
+			for kx := 0; kx < k; kx++ {
+				rowIdx := (ic*k+ky)*k + kx
+				crow := cd[rowIdx*colW : (rowIdx+1)*colW]
+				for i := 0; i < n; i++ {
+					base := (i*inC + ic) * h * w
+					for oy := 0; oy < oh; oy++ {
+						iy := oy*stride + ky - pad
+						if iy < 0 || iy >= h {
+							continue
+						}
+						src := crow[(i*oh+oy)*ow : (i*oh+oy+1)*ow]
+						for ox := 0; ox < ow; ox++ {
+							ix := ox*stride + kx - pad
+							if ix < 0 || ix >= w {
+								continue
+							}
+							od[base+iy*w+ix] += src[ox]
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,185 @@
+// Package nn implements a small neural-network stack with manual
+// backpropagation: dense, convolutional, pooling, batch-normalization and
+// residual layers composed into sequential networks.
+//
+// The design favours the needs of federated unlearning research over raw
+// speed: float64 everywhere, deterministic initialization from caller-owned
+// RNGs, and a flat parameter-vector view of every network so that federated
+// aggregation (FedAvg, adaptive weights, SISA shard arithmetic) is plain
+// vector algebra.
+//
+// Layers are not safe for concurrent use: each layer caches its most recent
+// forward activations for the following Backward call. Clone a network per
+// goroutine when training in parallel.
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"goldfish/internal/tensor"
+)
+
+// Param is a single learnable tensor and its gradient accumulator.
+type Param struct {
+	Name string
+	W    *tensor.Tensor // weights
+	G    *tensor.Tensor // gradient of the loss w.r.t. W
+}
+
+// newParam allocates a parameter and a zeroed gradient of the same shape.
+func newParam(name string, w *tensor.Tensor) *Param {
+	return &Param{Name: name, W: w, G: tensor.New(w.Shape()...)}
+}
+
+// Layer is one differentiable stage of a network. Forward must be called
+// before Backward; Backward receives ∂L/∂out and returns ∂L/∂in, adding
+// parameter gradients into the layer's Param.G tensors.
+type Layer interface {
+	// Forward computes the layer output. train toggles training-time
+	// behaviour (e.g. batch statistics in BatchNorm).
+	Forward(x *tensor.Tensor, train bool) *tensor.Tensor
+	// Backward propagates the output gradient and accumulates parameter
+	// gradients.
+	Backward(dout *tensor.Tensor) *tensor.Tensor
+	// Params returns the layer's learnable parameters (possibly empty).
+	Params() []*Param
+	// Clone returns a deep copy of the layer, including parameter values
+	// but not cached activations.
+	Clone() Layer
+}
+
+// Network is a sequential composition of layers. The zero value is an empty
+// network; use NewNetwork or Add.
+type Network struct {
+	layers []Layer
+}
+
+// NewNetwork builds a sequential network from the given layers.
+func NewNetwork(layers ...Layer) *Network {
+	return &Network{layers: append([]Layer(nil), layers...)}
+}
+
+// Add appends layers to the network and returns it for chaining.
+func (n *Network) Add(layers ...Layer) *Network {
+	n.layers = append(n.layers, layers...)
+	return n
+}
+
+// Layers returns the network's layers (shared, not copied).
+func (n *Network) Layers() []Layer { return n.layers }
+
+// Forward runs the input through every layer in order.
+func (n *Network) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	for _, l := range n.layers {
+		x = l.Forward(x, train)
+	}
+	return x
+}
+
+// Backward propagates the output gradient through every layer in reverse.
+func (n *Network) Backward(dout *tensor.Tensor) *tensor.Tensor {
+	for i := len(n.layers) - 1; i >= 0; i-- {
+		dout = n.layers[i].Backward(dout)
+	}
+	return dout
+}
+
+// Params returns all learnable parameters in layer order.
+func (n *Network) Params() []*Param {
+	var ps []*Param
+	for _, l := range n.layers {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}
+
+// NumParams returns the total number of scalar parameters.
+func (n *Network) NumParams() int {
+	total := 0
+	for _, p := range n.Params() {
+		total += p.W.Size()
+	}
+	return total
+}
+
+// ZeroGrads resets every parameter gradient to zero.
+func (n *Network) ZeroGrads() {
+	for _, p := range n.Params() {
+		p.G.Zero()
+	}
+}
+
+// Clone returns a deep copy of the network (parameters copied, activations
+// not).
+func (n *Network) Clone() *Network {
+	out := &Network{layers: make([]Layer, len(n.layers))}
+	for i, l := range n.layers {
+		out.layers[i] = l.Clone()
+	}
+	return out
+}
+
+// ParamVector flattens all parameters into a single new []float64 in layer
+// order. The layout is stable for networks of identical architecture, which
+// federated aggregation relies on.
+func (n *Network) ParamVector() []float64 {
+	out := make([]float64, 0, n.NumParams())
+	for _, p := range n.Params() {
+		out = append(out, p.W.Data()...)
+	}
+	return out
+}
+
+// GradVector flattens all gradients into a single new []float64 in the same
+// layout as ParamVector.
+func (n *Network) GradVector() []float64 {
+	out := make([]float64, 0, n.NumParams())
+	for _, p := range n.Params() {
+		out = append(out, p.G.Data()...)
+	}
+	return out
+}
+
+// SetParamVector loads a flat parameter vector previously produced by
+// ParamVector on a network with the same architecture.
+func (n *Network) SetParamVector(v []float64) error {
+	want := n.NumParams()
+	if len(v) != want {
+		return fmt.Errorf("nn: parameter vector has %d values, network needs %d", len(v), want)
+	}
+	off := 0
+	for _, p := range n.Params() {
+		sz := p.W.Size()
+		copy(p.W.Data(), v[off:off+sz])
+		off += sz
+	}
+	return nil
+}
+
+// CopyParamsFrom copies parameter values from src, which must have an
+// identical architecture.
+func (n *Network) CopyParamsFrom(src *Network) error {
+	dst := n.Params()
+	sps := src.Params()
+	if len(dst) != len(sps) {
+		return fmt.Errorf("nn: parameter count mismatch %d vs %d", len(dst), len(sps))
+	}
+	for i, p := range dst {
+		if !p.W.SameShape(sps[i].W) {
+			return fmt.Errorf("nn: parameter %d shape mismatch %v vs %v", i, p.W.Shape(), sps[i].W.Shape())
+		}
+		p.W.CopyFrom(sps[i].W)
+	}
+	return nil
+}
+
+// heInit fills w with He-normal initialization for the given fan-in.
+func heInit(w *tensor.Tensor, fanIn int, rng *rand.Rand) {
+	std := 0.0
+	if fanIn > 0 {
+		std = math.Sqrt(2.0 / float64(fanIn))
+	}
+	w.RandNormal(rng, 0, std)
+}

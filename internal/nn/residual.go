@@ -1,0 +1,90 @@
+package nn
+
+import (
+	"math/rand"
+
+	"goldfish/internal/tensor"
+)
+
+// Residual implements a post-activation residual block:
+//
+//	out = ReLU(main(x) + skip(x))
+//
+// where main is conv→bn→relu→conv→bn and skip is either the identity or a
+// 1×1 strided convolution followed by batch norm when the shape changes
+// (the standard CIFAR ResNet basic block of He et al.).
+type Residual struct {
+	main *Network
+	skip *Network // nil means identity
+	act  *ReLU
+
+	lastX *tensor.Tensor
+}
+
+var _ Layer = (*Residual)(nil)
+
+// NewResidual builds a basic residual block mapping inC channels to outC
+// with the given stride on the first convolution. A projection shortcut is
+// added automatically when inC != outC or stride != 1.
+func NewResidual(inC, outC, stride int, rng *rand.Rand) *Residual {
+	main := NewNetwork(
+		NewConv2D(inC, outC, 3, stride, 1, rng),
+		NewBatchNorm2D(outC),
+		NewReLU(),
+		NewConv2D(outC, outC, 3, 1, 1, rng),
+		NewBatchNorm2D(outC),
+	)
+	var skip *Network
+	if inC != outC || stride != 1 {
+		skip = NewNetwork(
+			NewConv2D(inC, outC, 1, stride, 0, rng),
+			NewBatchNorm2D(outC),
+		)
+	}
+	return &Residual{main: main, skip: skip, act: NewReLU()}
+}
+
+// Forward implements Layer.
+func (r *Residual) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	r.lastX = x
+	y := r.main.Forward(x, train)
+	var s *tensor.Tensor
+	if r.skip != nil {
+		s = r.skip.Forward(x, train)
+	} else {
+		s = x
+	}
+	return r.act.Forward(y.Add(s), train)
+}
+
+// Backward implements Layer.
+func (r *Residual) Backward(dout *tensor.Tensor) *tensor.Tensor {
+	if r.lastX == nil {
+		panic("nn: Residual.Backward called before Forward")
+	}
+	dsum := r.act.Backward(dout)
+	dxMain := r.main.Backward(dsum)
+	if r.skip != nil {
+		dxSkip := r.skip.Backward(dsum)
+		return dxMain.Add(dxSkip)
+	}
+	return dxMain.Add(dsum)
+}
+
+// Params implements Layer.
+func (r *Residual) Params() []*Param {
+	ps := r.main.Params()
+	if r.skip != nil {
+		ps = append(ps, r.skip.Params()...)
+	}
+	return ps
+}
+
+// Clone implements Layer.
+func (r *Residual) Clone() Layer {
+	out := &Residual{main: r.main.Clone(), act: NewReLU()}
+	if r.skip != nil {
+		out.skip = r.skip.Clone()
+	}
+	return out
+}

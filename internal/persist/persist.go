@@ -1,0 +1,107 @@
+// Package persist stores and restores model checkpoints: the flat state
+// vector of a network (parameters plus BatchNorm running statistics)
+// together with metadata and an integrity checksum, gob-encoded.
+package persist
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"math"
+	"os"
+
+	"encoding/gob"
+)
+
+// formatVersion guards against loading checkpoints from incompatible
+// releases.
+const formatVersion = 1
+
+// ErrCorrupt is returned when a checkpoint fails its integrity check.
+var ErrCorrupt = errors.New("persist: checkpoint corrupt")
+
+// Checkpoint is a stored model snapshot.
+type Checkpoint struct {
+	// Format is the checkpoint format version.
+	Format int
+	// Arch describes the architecture the state belongs to (informational;
+	// the caller must rebuild a matching network).
+	Arch string
+	// Meta carries free-form metadata (round number, dataset, …).
+	Meta map[string]string
+	// State is the flat model state vector (nn.Network.StateVector).
+	State []float64
+	// Checksum is the FNV-1a hash of Arch and State.
+	Checksum uint64
+}
+
+// checksum hashes the architecture string and state bits.
+func checksum(arch string, state []float64) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(arch))
+	var buf [8]byte
+	for _, v := range state {
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+		_, _ = h.Write(buf[:])
+	}
+	return h.Sum64()
+}
+
+// Save writes a checkpoint for the given architecture and state.
+func Save(w io.Writer, arch string, state []float64, meta map[string]string) error {
+	if len(state) == 0 {
+		return fmt.Errorf("persist: refusing to save empty state")
+	}
+	cp := Checkpoint{
+		Format:   formatVersion,
+		Arch:     arch,
+		Meta:     meta,
+		State:    state,
+		Checksum: checksum(arch, state),
+	}
+	if err := gob.NewEncoder(w).Encode(cp); err != nil {
+		return fmt.Errorf("persist: encoding checkpoint: %w", err)
+	}
+	return nil
+}
+
+// Load reads and verifies a checkpoint.
+func Load(r io.Reader) (*Checkpoint, error) {
+	var cp Checkpoint
+	if err := gob.NewDecoder(r).Decode(&cp); err != nil {
+		return nil, fmt.Errorf("persist: decoding checkpoint: %w", err)
+	}
+	if cp.Format != formatVersion {
+		return nil, fmt.Errorf("persist: unsupported format %d (want %d)", cp.Format, formatVersion)
+	}
+	if cp.Checksum != checksum(cp.Arch, cp.State) {
+		return nil, ErrCorrupt
+	}
+	return &cp, nil
+}
+
+// SaveFile writes a checkpoint to path, creating or truncating it.
+func SaveFile(path, arch string, state []float64, meta map[string]string) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("persist: %w", err)
+	}
+	defer func() {
+		if cerr := f.Close(); cerr != nil && err == nil {
+			err = fmt.Errorf("persist: closing %s: %w", path, cerr)
+		}
+	}()
+	return Save(f, arch, state, meta)
+}
+
+// LoadFile reads and verifies a checkpoint from path.
+func LoadFile(path string) (*Checkpoint, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("persist: %w", err)
+	}
+	defer func() { _ = f.Close() }()
+	return Load(f)
+}

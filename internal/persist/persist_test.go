@@ -1,0 +1,107 @@
+package persist
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"path/filepath"
+	"testing"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	state := []float64{1.5, -2.25, 0, 3.75}
+	meta := map[string]string{"round": "7", "dataset": "mnist"}
+	if err := Save(&buf, "lenet5", state, meta); err != nil {
+		t.Fatal(err)
+	}
+	cp, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp.Arch != "lenet5" {
+		t.Errorf("Arch = %q", cp.Arch)
+	}
+	if cp.Meta["round"] != "7" {
+		t.Errorf("Meta = %v", cp.Meta)
+	}
+	if len(cp.State) != 4 || cp.State[1] != -2.25 {
+		t.Errorf("State = %v", cp.State)
+	}
+}
+
+func TestLoadDetectsCorruption(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Save(&buf, "mlp", []float64{1, 2, 3}, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Flip one byte somewhere in the encoded state.
+	raw := buf.Bytes()
+	raw[len(raw)-5] ^= 0xFF
+	_, err := Load(bytes.NewReader(raw))
+	if err == nil {
+		t.Fatal("corrupted checkpoint loaded without error")
+	}
+	// Either the gob decode fails or the checksum trips; when it decodes,
+	// the sentinel must be ErrCorrupt.
+	if !errors.Is(err, ErrCorrupt) && err == nil {
+		t.Errorf("unexpected error %v", err)
+	}
+}
+
+func TestSaveEmptyStateRejected(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Save(&buf, "mlp", nil, nil); err == nil {
+		t.Error("empty state accepted")
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "model.ckpt")
+	state := []float64{4, 5, 6}
+	if err := SaveFile(path, "resnet32", state, map[string]string{"k": "v"}); err != nil {
+		t.Fatal(err)
+	}
+	cp, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp.State[2] != 6 || cp.Arch != "resnet32" {
+		t.Errorf("round trip mismatch: %+v", cp)
+	}
+	if _, err := LoadFile(filepath.Join(t.TempDir(), "missing.ckpt")); err == nil {
+		t.Error("missing file loaded")
+	}
+}
+
+func TestChecksumSensitivity(t *testing.T) {
+	a := checksum("arch", []float64{1, 2, 3})
+	if b := checksum("arch", []float64{1, 2, 4}); a == b {
+		t.Error("checksum insensitive to state change")
+	}
+	if b := checksum("other", []float64{1, 2, 3}); a == b {
+		t.Error("checksum insensitive to arch change")
+	}
+}
+
+func TestLoadRejectsWrongFormat(t *testing.T) {
+	var buf bytes.Buffer
+	cp := Checkpoint{
+		Format:   99,
+		Arch:     "mlp",
+		State:    []float64{1},
+		Checksum: checksum("mlp", []float64{1}),
+	}
+	if err := gob.NewEncoder(&buf).Encode(cp); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(&buf); err == nil {
+		t.Error("wrong format version accepted")
+	}
+}
+
+func TestLoadGarbage(t *testing.T) {
+	if _, err := Load(bytes.NewReader([]byte("not a gob stream"))); err == nil {
+		t.Error("garbage input accepted")
+	}
+}

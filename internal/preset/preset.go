@@ -1,0 +1,158 @@
+// Package preset maps the paper's dataset/model pairings and
+// hyperparameters onto this reproduction's scale knob. It is shared by the
+// experiment harness, the CLI tools and the public facade so that every
+// entry point trains the same configuration.
+package preset
+
+import (
+	"fmt"
+
+	"goldfish/internal/core"
+	"goldfish/internal/data"
+	"goldfish/internal/loss"
+	"goldfish/internal/model"
+	"goldfish/internal/optim"
+)
+
+// Preset bundles a ready-to-run experimental configuration.
+type Preset struct {
+	// Dataset is the dataset name ("mnist", "fmnist", "cifar10",
+	// "cifar100").
+	Dataset string
+	// Spec is the synthetic dataset specification at the chosen scale.
+	Spec data.SyntheticSpec
+	// Model is the architecture configuration (width/depth already scaled).
+	Model model.Config
+	// LR is the learning rate (paper: 0.001 at ScalePaper).
+	LR float64
+	// Batch is the mini-batch size (paper: 100 at ScalePaper).
+	Batch int
+	// Epochs is the local epochs per federated round.
+	Epochs int
+	// Rounds is the default global round budget.
+	Rounds int
+	// Clients is the default client count (paper: 5).
+	Clients int
+	// Seed drives all randomness derived from this preset.
+	Seed int64
+}
+
+// Hyper returns the per-scale training hyperparameters. Paper values apply
+// at data.ScalePaper; smaller scales use faster settings so CPU runs
+// converge within their reduced budgets.
+func Hyper(scale data.Scale) (lr float64, batch, epochs, rounds int) {
+	switch scale {
+	case data.ScaleTiny:
+		return 0.1, 32, 2, 6
+	case data.ScaleMedium:
+		return 0.01, 64, 2, 15
+	case data.ScalePaper:
+		return 0.001, 100, 2, 40
+	default: // ScaleSmall
+		return 0.05, 32, 2, 8
+	}
+}
+
+// ArchFor maps the paper's dataset→model pairing (§IV-A): LeNet-5 for
+// MNIST/FMNIST, modified LeNet-5 for CIFAR-10, ResNet-56 for CIFAR-100.
+func ArchFor(dataset string) model.Arch {
+	switch dataset {
+	case "cifar10":
+		return model.ArchLeNet5Mod
+	case "cifar100":
+		return model.ArchResNet56
+	default:
+		return model.ArchLeNet5
+	}
+}
+
+// ModelConfig builds the architecture configuration for a dataset spec at
+// the given scale, shrinking widths/depths below data.ScalePaper.
+func ModelConfig(arch model.Arch, spec data.SyntheticSpec, scale data.Scale, seed int64) model.Config {
+	cfg := model.Config{
+		Arch:    arch,
+		InC:     spec.Channels,
+		InH:     spec.Size,
+		InW:     spec.Size,
+		Classes: spec.Classes,
+		Seed:    seed,
+	}
+	switch scale {
+	case data.ScalePaper:
+		// paper widths and depths
+	case data.ScaleMedium:
+		cfg.Width = 0.5
+		if arch == model.ArchResNet32 || arch == model.ArchResNet56 {
+			cfg.DepthN = 2
+		}
+	default: // tiny, small
+		cfg.Width = 0.5
+		if arch == model.ArchResNet32 || arch == model.ArchResNet56 {
+			cfg.Width = 0.25
+			cfg.DepthN = 1
+		}
+	}
+	return cfg
+}
+
+// For resolves the preset for a dataset and architecture at the given
+// scale. Passing an empty arch selects the paper's pairing via ArchFor.
+func For(dataset string, arch model.Arch, scale data.Scale, seed int64) (Preset, error) {
+	if scale == "" {
+		scale = data.ScaleSmall
+	}
+	if seed == 0 {
+		seed = 1
+	}
+	if arch == "" {
+		arch = ArchFor(dataset)
+	}
+	spec, err := data.SpecByName(dataset, scale)
+	if err != nil {
+		return Preset{}, err
+	}
+	spec.Seed += seed * 1000
+	lr, batch, epochs, rounds := Hyper(scale)
+	return Preset{
+		Dataset: dataset,
+		Spec:    spec,
+		Model:   ModelConfig(arch, spec, scale, seed),
+		LR:      lr,
+		Batch:   batch,
+		Epochs:  epochs,
+		Rounds:  rounds,
+		Clients: 5,
+		Seed:    seed,
+	}, nil
+}
+
+// Generate materializes the preset's train and test datasets.
+func (p Preset) Generate() (train, test *data.Dataset, err error) {
+	return data.Generate(p.Spec)
+}
+
+// ClientConfig returns the Goldfish client configuration for this preset:
+// the paper's loss defaults (µc=0.25, µd=1.0, T=3) with the preset's
+// optimizer and batch settings.
+func (p Preset) ClientConfig() core.Config {
+	return core.Config{
+		Model:       p.Model,
+		Loss:        loss.NewGoldfish(),
+		Opt:         optim.SGDConfig{LR: p.LR, Momentum: 0.9, ClipNorm: 5},
+		LocalEpochs: p.Epochs,
+		BatchSize:   p.Batch,
+		TempAlpha:   1,
+		Seed:        p.Seed,
+	}
+}
+
+// Validate reports preset errors.
+func (p Preset) Validate() error {
+	if err := p.Spec.Validate(); err != nil {
+		return err
+	}
+	if p.LR <= 0 || p.Batch <= 0 || p.Epochs <= 0 || p.Rounds <= 0 || p.Clients <= 0 {
+		return fmt.Errorf("preset: invalid hyperparameters %+v", p)
+	}
+	return nil
+}

@@ -1,0 +1,96 @@
+package preset
+
+import (
+	"testing"
+
+	"goldfish/internal/data"
+	"goldfish/internal/model"
+)
+
+func TestForDefaults(t *testing.T) {
+	p, err := For("mnist", "", "", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Model.Arch != model.ArchLeNet5 {
+		t.Errorf("arch = %s, want lenet5", p.Model.Arch)
+	}
+	if p.Clients != 5 {
+		t.Errorf("clients = %d, want 5", p.Clients)
+	}
+	if err := p.Validate(); err != nil {
+		t.Errorf("default preset invalid: %v", err)
+	}
+	if err := p.ClientConfig().Validate(); err != nil {
+		t.Errorf("client config invalid: %v", err)
+	}
+}
+
+func TestForArchOverride(t *testing.T) {
+	p, err := For("cifar10", model.ArchResNet32, data.ScaleTiny, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Model.Arch != model.ArchResNet32 {
+		t.Errorf("arch = %s", p.Model.Arch)
+	}
+	if p.Model.Width != 0.25 || p.Model.DepthN != 1 {
+		t.Errorf("tiny ResNet not scaled down: %+v", p.Model)
+	}
+}
+
+func TestForUnknownDataset(t *testing.T) {
+	if _, err := For("bogus", "", data.ScaleTiny, 1); err == nil {
+		t.Error("unknown dataset accepted")
+	}
+}
+
+func TestHyperPaperValues(t *testing.T) {
+	lr, batch, _, _ := Hyper(data.ScalePaper)
+	if lr != 0.001 || batch != 100 {
+		t.Errorf("paper hyper = lr %g batch %d, want 0.001/100", lr, batch)
+	}
+}
+
+func TestArchFor(t *testing.T) {
+	cases := map[string]model.Arch{
+		"mnist":    model.ArchLeNet5,
+		"fmnist":   model.ArchLeNet5,
+		"cifar10":  model.ArchLeNet5Mod,
+		"cifar100": model.ArchResNet56,
+	}
+	for ds, want := range cases {
+		if got := ArchFor(ds); got != want {
+			t.Errorf("ArchFor(%s) = %s, want %s", ds, got, want)
+		}
+	}
+}
+
+func TestModelConfigScaling(t *testing.T) {
+	spec, err := data.SpecCIFAR100(data.ScalePaper)
+	if err != nil {
+		t.Fatal(err)
+	}
+	paper := ModelConfig(model.ArchResNet56, spec, data.ScalePaper, 1)
+	if paper.Width != 0 || paper.DepthN != 0 {
+		t.Errorf("paper scale must keep full width/depth: %+v", paper)
+	}
+	small := ModelConfig(model.ArchResNet56, spec, data.ScaleSmall, 1)
+	if small.Width >= 1 || small.DepthN == 0 {
+		t.Errorf("small scale must shrink ResNets: %+v", small)
+	}
+}
+
+func TestGenerateMatchesSpec(t *testing.T) {
+	p, err := For("fmnist", "", data.ScaleTiny, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, test, err := p.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if train.Len() != p.Spec.Train || test.Len() != p.Spec.Test {
+		t.Errorf("sizes %d/%d, want %d/%d", train.Len(), test.Len(), p.Spec.Train, p.Spec.Test)
+	}
+}

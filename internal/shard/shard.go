@@ -1,0 +1,237 @@
+// Package shard implements the paper's data-partition optimization (§III-B
+// "Optimization", Figs. 2–3): each client splits its local data into τ
+// shards, trains one model per shard, and publishes the size-weighted
+// average (Eq. 8). On deletion only the shards containing removed samples
+// retrain, restarting from the checkpoint of the untouched shards (Eq. 9);
+// shard weights can be recovered from a new aggregate by subtraction
+// (Eq. 10).
+package shard
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+
+	"goldfish/internal/data"
+	"goldfish/internal/nn"
+)
+
+// Shard is one data shard and its model.
+type Shard struct {
+	// Indices are row indices into the client's local dataset.
+	Indices []int
+	// Model is the shard's network.
+	Model *nn.Network
+}
+
+// Manager owns a client's shards and implements the Eq. 8–10 arithmetic.
+type Manager struct {
+	shards    []Shard
+	paramSize int
+}
+
+// NewManager partitions [0, datasetLen) into numShards random shards and
+// clones template once per shard.
+func NewManager(template *nn.Network, datasetLen, numShards int, rng *rand.Rand) (*Manager, error) {
+	if template == nil {
+		return nil, fmt.Errorf("shard: nil template network")
+	}
+	idx, err := data.ShardIndices(datasetLen, numShards, rng)
+	if err != nil {
+		return nil, fmt.Errorf("shard: %w", err)
+	}
+	m := &Manager{paramSize: len(template.StateVector())}
+	m.shards = make([]Shard, numShards)
+	for i := range m.shards {
+		m.shards[i] = Shard{Indices: idx[i], Model: template.Clone()}
+	}
+	return m, nil
+}
+
+// NumShards returns the shard count τ.
+func (m *Manager) NumShards() int { return len(m.shards) }
+
+// Shard returns shard i.
+func (m *Manager) Shard(i int) *Shard { return &m.shards[i] }
+
+// TotalSamples returns |Dᶜ|, the number of samples across all shards.
+func (m *Manager) TotalSamples() int {
+	total := 0
+	for _, s := range m.shards {
+		total += len(s.Indices)
+	}
+	return total
+}
+
+// Aggregate implements Eq. 8: ωᶜ = Σᵢ (|Dᶜᵢ|/|Dᶜ|)·ωᶜᵢ, returning the
+// size-weighted average of shard parameter vectors.
+func (m *Manager) Aggregate() []float64 {
+	total := m.TotalSamples()
+	out := make([]float64, m.paramSize)
+	if total == 0 {
+		return out
+	}
+	for _, s := range m.shards {
+		w := float64(len(s.Indices)) / float64(total)
+		for j, v := range s.Model.StateVector() {
+			out[j] += w * v
+		}
+	}
+	return out
+}
+
+// Checkpoint implements Eq. 9: the partial aggregate over shards NOT in
+// excluded, still normalized by the full |Dᶜ|. Retraining restarts from this
+// checkpoint instead of a fresh initialization.
+func (m *Manager) Checkpoint(excluded map[int]bool) []float64 {
+	total := m.TotalSamples()
+	out := make([]float64, m.paramSize)
+	if total == 0 {
+		return out
+	}
+	for i, s := range m.shards {
+		if excluded[i] {
+			continue
+		}
+		w := float64(len(s.Indices)) / float64(total)
+		for j, v := range s.Model.StateVector() {
+			out[j] += w * v
+		}
+	}
+	return out
+}
+
+// RecoverShard implements Eq. 10: given a full aggregate ωᶜ, recover shard
+// i's parameter vector as (|Dᶜ|/|Dᶜᵢ|)·(ωᶜ − Σ_{j≠i} (|Dᶜⱼ|/|Dᶜ|)·ωᶜⱼ).
+func (m *Manager) RecoverShard(i int, aggregate []float64) ([]float64, error) {
+	if i < 0 || i >= len(m.shards) {
+		return nil, fmt.Errorf("shard: index %d out of range [0,%d)", i, len(m.shards))
+	}
+	if len(aggregate) != m.paramSize {
+		return nil, fmt.Errorf("shard: aggregate has %d params, want %d", len(aggregate), m.paramSize)
+	}
+	size := len(m.shards[i].Indices)
+	if size == 0 {
+		return nil, fmt.Errorf("shard: shard %d is empty", i)
+	}
+	rest := m.Checkpoint(map[int]bool{i: true})
+	total := float64(m.TotalSamples())
+	scale := total / float64(size)
+	out := make([]float64, m.paramSize)
+	for j := range out {
+		out[j] = scale * (aggregate[j] - rest[j])
+	}
+	return out, nil
+}
+
+// AffectedShards returns the (sorted) indices of shards containing any of
+// the removed dataset rows.
+func (m *Manager) AffectedShards(removed []int) []int {
+	rm := make(map[int]bool, len(removed))
+	for _, r := range removed {
+		rm[r] = true
+	}
+	var out []int
+	for i, s := range m.shards {
+		for _, idx := range s.Indices {
+			if rm[idx] {
+				out = append(out, i)
+				break
+			}
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// DeleteSamples removes the given dataset rows from every shard's index
+// list and returns the number of rows actually removed. The caller is
+// responsible for retraining affected shards (see RetrainAffected).
+func (m *Manager) DeleteSamples(removed []int) int {
+	rm := make(map[int]bool, len(removed))
+	for _, r := range removed {
+		rm[r] = true
+	}
+	deleted := 0
+	for i := range m.shards {
+		kept := m.shards[i].Indices[:0]
+		for _, idx := range m.shards[i].Indices {
+			if rm[idx] {
+				deleted++
+				continue
+			}
+			kept = append(kept, idx)
+		}
+		m.shards[i].Indices = kept
+	}
+	return deleted
+}
+
+// TrainFunc trains one shard's model on the given dataset rows.
+type TrainFunc func(shardIdx int, model *nn.Network, indices []int) error
+
+// RetrainAffected retrains the given shards concurrently (the paper notes
+// multi-shard retraining parallelizes; Fig. 3). It waits for all retraining
+// goroutines and returns the first error encountered.
+func (m *Manager) RetrainAffected(affected []int, train TrainFunc) error {
+	if len(affected) == 0 {
+		return nil
+	}
+	errs := make([]error, len(affected))
+	var wg sync.WaitGroup
+	for k, idx := range affected {
+		if idx < 0 || idx >= len(m.shards) {
+			return fmt.Errorf("shard: retrain index %d out of range [0,%d)", idx, len(m.shards))
+		}
+		wg.Add(1)
+		go func(k, idx int) {
+			defer wg.Done()
+			s := &m.shards[idx]
+			errs[k] = train(idx, s.Model, s.Indices)
+		}(k, idx)
+	}
+	wg.Wait()
+	for k, err := range errs {
+		if err != nil {
+			return fmt.Errorf("shard: retraining shard %d: %w", affected[k], err)
+		}
+	}
+	return nil
+}
+
+// SetShardParams loads a parameter vector into shard i's model.
+func (m *Manager) SetShardParams(i int, params []float64) error {
+	if i < 0 || i >= len(m.shards) {
+		return fmt.Errorf("shard: index %d out of range [0,%d)", i, len(m.shards))
+	}
+	if err := m.shards[i].Model.SetStateVector(params); err != nil {
+		return fmt.Errorf("shard: loading shard %d: %w", i, err)
+	}
+	return nil
+}
+
+// ShardChoice implements the paper's shard-count selection objective
+// (§IV-B): given, for each candidate shard count, the reduced number of
+// retraining rounds rr and the accuracy loss al relative to the unsharded
+// model, it returns the index of the candidate maximizing rr·c1 − al·c2,
+// where c1 is the benefit of one saved round and c2 the cost of one unit of
+// accuracy loss (both user preferences).
+func ShardChoice(reducedRounds, accuracyLoss []float64, c1, c2 float64) (int, error) {
+	if len(reducedRounds) == 0 || len(reducedRounds) != len(accuracyLoss) {
+		return 0, fmt.Errorf("shard: candidate lists must be non-empty and equal length, got %d/%d",
+			len(reducedRounds), len(accuracyLoss))
+	}
+	if c1 < 0 || c2 < 0 {
+		return 0, fmt.Errorf("shard: preference weights must be non-negative, got c1=%g c2=%g", c1, c2)
+	}
+	best := 0
+	bestVal := reducedRounds[0]*c1 - accuracyLoss[0]*c2
+	for i := 1; i < len(reducedRounds); i++ {
+		if v := reducedRounds[i]*c1 - accuracyLoss[i]*c2; v > bestVal {
+			best = i
+			bestVal = v
+		}
+	}
+	return best, nil
+}

@@ -1,0 +1,300 @@
+package shard
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+
+	"goldfish/internal/nn"
+)
+
+func newTemplate(seed int64) *nn.Network {
+	rng := rand.New(rand.NewSource(seed))
+	return nn.NewNetwork(nn.NewDense(4, 3, rng))
+}
+
+func randomizeShards(m *Manager, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < m.NumShards(); i++ {
+		v := make([]float64, m.Shard(i).Model.NumParams())
+		for j := range v {
+			v[j] = rng.NormFloat64()
+		}
+		if err := m.SetShardParams(i, v); err != nil {
+			panic(err)
+		}
+	}
+}
+
+func TestNewManagerPartitions(t *testing.T) {
+	m, err := NewManager(newTemplate(1), 100, 6, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumShards() != 6 {
+		t.Fatalf("NumShards = %d", m.NumShards())
+	}
+	if m.TotalSamples() != 100 {
+		t.Fatalf("TotalSamples = %d", m.TotalSamples())
+	}
+	seen := map[int]bool{}
+	for i := 0; i < 6; i++ {
+		for _, idx := range m.Shard(i).Indices {
+			if seen[idx] {
+				t.Fatalf("index %d in two shards", idx)
+			}
+			seen[idx] = true
+		}
+	}
+	if len(seen) != 100 {
+		t.Errorf("shards cover %d indices, want 100", len(seen))
+	}
+}
+
+func TestNewManagerErrors(t *testing.T) {
+	if _, err := NewManager(nil, 10, 2, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("nil template accepted")
+	}
+	if _, err := NewManager(newTemplate(1), 2, 5, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("more shards than samples accepted")
+	}
+}
+
+func TestAggregateEqualShardsIsIdentity(t *testing.T) {
+	m, err := NewManager(newTemplate(2), 30, 3, rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All shards share identical parameters → aggregate equals them.
+	ref := m.Shard(0).Model.ParamVector()
+	for i := 1; i < 3; i++ {
+		if err := m.SetShardParams(i, ref); err != nil {
+			t.Fatal(err)
+		}
+	}
+	agg := m.Aggregate()
+	for j := range ref {
+		if math.Abs(agg[j]-ref[j]) > 1e-12 {
+			t.Fatalf("aggregate differs at %d: %g vs %g", j, agg[j], ref[j])
+		}
+	}
+}
+
+func TestAggregateWeighting(t *testing.T) {
+	// Two shards, sizes 1 and 3; shard params all-1 and all-5.
+	m, err := NewManager(newTemplate(3), 4, 2, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Force shard sizes 1 and 3.
+	m.shards[0].Indices = []int{0}
+	m.shards[1].Indices = []int{1, 2, 3}
+	n := m.Shard(0).Model.NumParams()
+	ones := make([]float64, n)
+	fives := make([]float64, n)
+	for j := range ones {
+		ones[j] = 1
+		fives[j] = 5
+	}
+	if err := m.SetShardParams(0, ones); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SetShardParams(1, fives); err != nil {
+		t.Fatal(err)
+	}
+	agg := m.Aggregate()
+	want := 0.25*1 + 0.75*5
+	for _, v := range agg {
+		if math.Abs(v-want) > 1e-12 {
+			t.Fatalf("aggregate = %g, want %g", v, want)
+		}
+	}
+}
+
+// Property (Eq. 10 inverts Eq. 8): recovering shard i from the full
+// aggregate reproduces its parameters exactly.
+func TestQuickRecoverShardInvertsAggregate(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		shards := 2 + rng.Intn(5)
+		samples := shards * (2 + rng.Intn(10))
+		m, err := NewManager(newTemplate(seed), samples, shards, rng)
+		if err != nil {
+			return false
+		}
+		randomizeShards(m, seed+1)
+		agg := m.Aggregate()
+		i := rng.Intn(shards)
+		got, err := m.RecoverShard(i, agg)
+		if err != nil {
+			return false
+		}
+		want := m.Shard(i).Model.ParamVector()
+		for j := range want {
+			if math.Abs(got[j]-want[j]) > 1e-6*(1+math.Abs(want[j])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCheckpointExcludes(t *testing.T) {
+	m, err := NewManager(newTemplate(4), 40, 4, rand.New(rand.NewSource(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	randomizeShards(m, 5)
+	full := m.Aggregate()
+	ck := m.Checkpoint(map[int]bool{1: true})
+	// full − checkpoint = weighted shard-1 params.
+	w := float64(len(m.Shard(1).Indices)) / float64(m.TotalSamples())
+	p1 := m.Shard(1).Model.ParamVector()
+	for j := range full {
+		if math.Abs(full[j]-ck[j]-w*p1[j]) > 1e-9 {
+			t.Fatalf("checkpoint arithmetic wrong at %d", j)
+		}
+	}
+}
+
+func TestRecoverShardErrors(t *testing.T) {
+	m, err := NewManager(newTemplate(5), 20, 2, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.RecoverShard(5, m.Aggregate()); err == nil {
+		t.Error("out-of-range shard accepted")
+	}
+	if _, err := m.RecoverShard(0, []float64{1}); err == nil {
+		t.Error("short aggregate accepted")
+	}
+	m.shards[0].Indices = nil
+	if _, err := m.RecoverShard(0, m.Aggregate()); err == nil {
+		t.Error("empty shard accepted")
+	}
+}
+
+func TestAffectedShards(t *testing.T) {
+	m, err := NewManager(newTemplate(6), 30, 3, rand.New(rand.NewSource(6)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Take two sample indices from shard 2 and one from shard 0.
+	removed := []int{m.Shard(2).Indices[0], m.Shard(2).Indices[1], m.Shard(0).Indices[0]}
+	affected := m.AffectedShards(removed)
+	if len(affected) != 2 || affected[0] != 0 || affected[1] != 2 {
+		t.Errorf("AffectedShards = %v, want [0 2]", affected)
+	}
+	if got := m.AffectedShards(nil); len(got) != 0 {
+		t.Errorf("no removals should affect nothing, got %v", got)
+	}
+}
+
+func TestDeleteSamples(t *testing.T) {
+	m, err := NewManager(newTemplate(7), 30, 3, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	removed := []int{m.Shard(1).Indices[0], m.Shard(1).Indices[1]}
+	n := m.DeleteSamples(removed)
+	if n != 2 {
+		t.Fatalf("deleted %d, want 2", n)
+	}
+	if m.TotalSamples() != 28 {
+		t.Errorf("TotalSamples = %d, want 28", m.TotalSamples())
+	}
+	for _, idx := range m.Shard(1).Indices {
+		if idx == removed[0] || idx == removed[1] {
+			t.Error("removed index still present")
+		}
+	}
+	// Deleting again is a no-op.
+	if n := m.DeleteSamples(removed); n != 0 {
+		t.Errorf("second delete removed %d, want 0", n)
+	}
+}
+
+func TestRetrainAffectedRunsAll(t *testing.T) {
+	m, err := NewManager(newTemplate(8), 40, 4, rand.New(rand.NewSource(8)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var calls int32
+	err = m.RetrainAffected([]int{0, 2, 3}, func(shardIdx int, model *nn.Network, indices []int) error {
+		atomic.AddInt32(&calls, 1)
+		if model == nil || len(indices) == 0 {
+			t.Error("bad arguments to train func")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 3 {
+		t.Errorf("train called %d times, want 3", calls)
+	}
+	// No affected shards: no calls, no error.
+	if err := m.RetrainAffected(nil, func(int, *nn.Network, []int) error {
+		t.Error("should not be called")
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRetrainAffectedPropagatesError(t *testing.T) {
+	m, err := NewManager(newTemplate(9), 20, 2, rand.New(rand.NewSource(9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("boom")
+	err = m.RetrainAffected([]int{0, 1}, func(shardIdx int, _ *nn.Network, _ []int) error {
+		if shardIdx == 1 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Errorf("error not propagated: %v", err)
+	}
+	if err := m.RetrainAffected([]int{99}, func(int, *nn.Network, []int) error { return nil }); err == nil {
+		t.Error("out-of-range shard accepted")
+	}
+}
+
+func TestShardChoice(t *testing.T) {
+	// Candidates τ=1,6,18: more shards save more rounds but cost accuracy.
+	rr := []float64{0, 3, 5}
+	al := []float64{0, 1, 6}
+	// Round savings dominate → τ=6 wins (3·2−1·1=5 beats 0 and 5·2−6·1=4).
+	got, err := ShardChoice(rr, al, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 1 {
+		t.Errorf("ShardChoice = %d, want 1", got)
+	}
+	// Accuracy dominates → τ=1 wins.
+	got, err = ShardChoice(rr, al, 0.1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0 {
+		t.Errorf("accuracy-dominant ShardChoice = %d, want 0", got)
+	}
+	if _, err := ShardChoice(nil, nil, 1, 1); err == nil {
+		t.Error("empty candidates accepted")
+	}
+	if _, err := ShardChoice(rr, al[:2], 1, 1); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := ShardChoice(rr, al, -1, 1); err == nil {
+		t.Error("negative weight accepted")
+	}
+}

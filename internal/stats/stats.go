@@ -1,0 +1,310 @@
+// Package stats implements the statistical machinery the Goldfish evaluation
+// needs: descriptive statistics, Kullback–Leibler and Jensen–Shannon
+// divergences between discrete distributions, and Welch's t-test (with the
+// regularized incomplete beta function used for the Student-t CDF).
+//
+// Everything is pure stdlib; special functions are implemented with the
+// standard continued-fraction / series expansions (Numerical Recipes style)
+// on top of math.Lgamma.
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrInsufficientData is returned when a statistic needs more samples than
+// were supplied.
+var ErrInsufficientData = errors.New("stats: insufficient data")
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Variance returns the unbiased (n−1) sample variance of xs. It returns 0
+// when fewer than two samples are supplied.
+func Variance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var s float64
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(len(xs)-1)
+}
+
+// PopulationVariance returns the biased (n) variance of xs, the quantity the
+// Goldfish confusion loss uses on prediction vectors. It returns 0 for an
+// empty slice.
+func PopulationVariance(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := Mean(xs)
+	var s float64
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the unbiased sample standard deviation of xs.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// MinMax returns the minimum and maximum of xs. It returns
+// ErrInsufficientData for an empty slice.
+func MinMax(xs []float64) (minV, maxV float64, err error) {
+	if len(xs) == 0 {
+		return 0, 0, ErrInsufficientData
+	}
+	minV, maxV = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < minV {
+			minV = x
+		}
+		if x > maxV {
+			maxV = x
+		}
+	}
+	return minV, maxV, nil
+}
+
+// distEpsilon guards the divergences against zero probabilities.
+const distEpsilon = 1e-12
+
+// KLDivergence returns the Kullback–Leibler divergence KL(p‖q) in nats.
+// Inputs should be probability vectors of equal length; they are clamped at
+// a tiny epsilon rather than producing infinities.
+func KLDivergence(p, q []float64) (float64, error) {
+	if len(p) != len(q) {
+		return 0, fmt.Errorf("stats: KL length mismatch %d vs %d", len(p), len(q))
+	}
+	if len(p) == 0 {
+		return 0, ErrInsufficientData
+	}
+	var s float64
+	for i := range p {
+		pi := math.Max(p[i], distEpsilon)
+		qi := math.Max(q[i], distEpsilon)
+		s += pi * math.Log(pi/qi)
+	}
+	return s, nil
+}
+
+// JSDivergence returns the Jensen–Shannon divergence between probability
+// vectors p and q in nats. It is symmetric and bounded by ln 2 ≈ 0.6931.
+func JSDivergence(p, q []float64) (float64, error) {
+	if len(p) != len(q) {
+		return 0, fmt.Errorf("stats: JSD length mismatch %d vs %d", len(p), len(q))
+	}
+	if len(p) == 0 {
+		return 0, ErrInsufficientData
+	}
+	m := make([]float64, len(p))
+	for i := range p {
+		m[i] = 0.5 * (p[i] + q[i])
+	}
+	kpm, err := KLDivergence(p, m)
+	if err != nil {
+		return 0, err
+	}
+	kqm, err := KLDivergence(q, m)
+	if err != nil {
+		return 0, err
+	}
+	jsd := 0.5*kpm + 0.5*kqm
+	if jsd < 0 { // numerical noise
+		jsd = 0
+	}
+	return jsd, nil
+}
+
+// L2Distance returns the Euclidean distance between vectors p and q.
+func L2Distance(p, q []float64) (float64, error) {
+	if len(p) != len(q) {
+		return 0, fmt.Errorf("stats: L2 length mismatch %d vs %d", len(p), len(q))
+	}
+	var s float64
+	for i := range p {
+		d := p[i] - q[i]
+		s += d * d
+	}
+	return math.Sqrt(s), nil
+}
+
+// TTestResult holds the outcome of a two-sample Welch t-test.
+type TTestResult struct {
+	T  float64 // t statistic
+	DF float64 // Welch–Satterthwaite degrees of freedom
+	P  float64 // two-sided p-value
+}
+
+// WelchTTest performs a two-sample t-test with unequal variances. Each
+// sample needs at least two observations.
+func WelchTTest(a, b []float64) (TTestResult, error) {
+	if len(a) < 2 || len(b) < 2 {
+		return TTestResult{}, fmt.Errorf("welch t-test needs ≥2 samples per group (got %d, %d): %w",
+			len(a), len(b), ErrInsufficientData)
+	}
+	ma, mb := Mean(a), Mean(b)
+	va, vb := Variance(a), Variance(b)
+	na, nb := float64(len(a)), float64(len(b))
+	sa, sb := va/na, vb/nb
+	se := math.Sqrt(sa + sb)
+	if se == 0 {
+		// Identical constant samples: means equal ⇒ p = 1; otherwise the
+		// difference is infinitely significant.
+		if ma == mb {
+			return TTestResult{T: 0, DF: na + nb - 2, P: 1}, nil
+		}
+		return TTestResult{T: math.Inf(sign(ma - mb)), DF: na + nb - 2, P: 0}, nil
+	}
+	t := (ma - mb) / se
+	df := (sa + sb) * (sa + sb) / (sa*sa/(na-1) + sb*sb/(nb-1))
+	p := StudentTPValue(t, df)
+	return TTestResult{T: t, DF: df, P: p}, nil
+}
+
+func sign(x float64) int {
+	if x < 0 {
+		return -1
+	}
+	return 1
+}
+
+// StudentTPValue returns the two-sided p-value for a t statistic with df
+// degrees of freedom, via the regularized incomplete beta function:
+// P(|T| ≥ |t|) = I_{df/(df+t²)}(df/2, 1/2).
+func StudentTPValue(t, df float64) float64 {
+	if math.IsInf(t, 0) {
+		return 0
+	}
+	if df <= 0 || math.IsNaN(t) {
+		return math.NaN()
+	}
+	x := df / (df + t*t)
+	return RegIncBeta(df/2, 0.5, x)
+}
+
+// RegIncBeta computes the regularized incomplete beta function I_x(a, b)
+// using the continued-fraction expansion (Numerical Recipes §6.4). a and b
+// must be positive; x must lie in [0, 1].
+func RegIncBeta(a, b, x float64) float64 {
+	switch {
+	case x <= 0:
+		return 0
+	case x >= 1:
+		return 1
+	case a <= 0 || b <= 0:
+		return math.NaN()
+	}
+	lbeta, _ := math.Lgamma(a + b)
+	la, _ := math.Lgamma(a)
+	lb, _ := math.Lgamma(b)
+	front := math.Exp(lbeta - la - lb + a*math.Log(x) + b*math.Log(1-x))
+	if x < (a+1)/(a+b+2) {
+		return front * betaCF(a, b, x) / a
+	}
+	return 1 - front*betaCF(b, a, 1-x)/b
+}
+
+// betaCF evaluates the continued fraction for the incomplete beta function
+// by the modified Lentz method.
+func betaCF(a, b, x float64) float64 {
+	const (
+		maxIter = 300
+		eps     = 3e-14
+		fpMin   = 1e-300
+	)
+	qab := a + b
+	qap := a + 1
+	qam := a - 1
+	c := 1.0
+	d := 1 - qab*x/qap
+	if math.Abs(d) < fpMin {
+		d = fpMin
+	}
+	d = 1 / d
+	h := d
+	for m := 1; m <= maxIter; m++ {
+		fm := float64(m)
+		m2 := 2 * fm
+		aa := fm * (b - fm) * x / ((qam + m2) * (a + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < fpMin {
+			d = fpMin
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < fpMin {
+			c = fpMin
+		}
+		d = 1 / d
+		h *= d * c
+		aa = -(a + fm) * (qab + fm) * x / ((a + m2) * (qap + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < fpMin {
+			d = fpMin
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < fpMin {
+			c = fpMin
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < eps {
+			break
+		}
+	}
+	return h
+}
+
+// NormalCDF returns the standard normal cumulative distribution at x.
+func NormalCDF(x float64) float64 {
+	return 0.5 * math.Erfc(-x/math.Sqrt2)
+}
+
+// Histogram bins values into n equal-width buckets over [lo, hi] and
+// returns a normalized probability vector. Values outside the range are
+// clamped to the boundary buckets. It returns an error if n < 1 or hi ≤ lo.
+func Histogram(xs []float64, n int, lo, hi float64) ([]float64, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("stats: histogram needs ≥1 bucket, got %d", n)
+	}
+	if hi <= lo {
+		return nil, fmt.Errorf("stats: histogram range [%g, %g] is empty", lo, hi)
+	}
+	h := make([]float64, n)
+	if len(xs) == 0 {
+		return h, nil
+	}
+	w := (hi - lo) / float64(n)
+	for _, x := range xs {
+		i := int((x - lo) / w)
+		if i < 0 {
+			i = 0
+		}
+		if i >= n {
+			i = n - 1
+		}
+		h[i]++
+	}
+	inv := 1 / float64(len(xs))
+	for i := range h {
+		h[i] *= inv
+	}
+	return h, nil
+}

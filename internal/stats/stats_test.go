@@ -1,0 +1,277 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMeanVariance(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Mean(xs); got != 5 {
+		t.Errorf("Mean = %g, want 5", got)
+	}
+	if got := PopulationVariance(xs); got != 4 {
+		t.Errorf("PopulationVariance = %g, want 4", got)
+	}
+	if got := Variance(xs); math.Abs(got-32.0/7.0) > 1e-12 {
+		t.Errorf("Variance = %g, want %g", got, 32.0/7.0)
+	}
+}
+
+func TestMeanEmpty(t *testing.T) {
+	if got := Mean(nil); got != 0 {
+		t.Errorf("Mean(nil) = %g, want 0", got)
+	}
+	if got := Variance([]float64{1}); got != 0 {
+		t.Errorf("Variance(single) = %g, want 0", got)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	lo, hi, err := MinMax([]float64{3, -1, 7, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo != -1 || hi != 7 {
+		t.Errorf("MinMax = %g,%g, want -1,7", lo, hi)
+	}
+	if _, _, err := MinMax(nil); err == nil {
+		t.Error("MinMax(nil) should error")
+	}
+}
+
+func TestKLDivergenceBasics(t *testing.T) {
+	p := []float64{0.5, 0.5}
+	if got, err := KLDivergence(p, p); err != nil || math.Abs(got) > 1e-12 {
+		t.Errorf("KL(p,p) = %g, %v; want 0", got, err)
+	}
+	q := []float64{0.9, 0.1}
+	got, err := KLDivergence(p, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0.5*math.Log(0.5/0.9) + 0.5*math.Log(0.5/0.1)
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("KL = %g, want %g", got, want)
+	}
+	if _, err := KLDivergence(p, []float64{1}); err == nil {
+		t.Error("length mismatch should error")
+	}
+}
+
+func TestJSDBounds(t *testing.T) {
+	// Maximally different distributions approach ln 2.
+	p := []float64{1, 0}
+	q := []float64{0, 1}
+	got, err := JSDivergence(p, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-math.Ln2) > 1e-6 {
+		t.Errorf("JSD(disjoint) = %g, want ln2 = %g", got, math.Ln2)
+	}
+	same, err := JSDivergence(p, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if same > 1e-10 {
+		t.Errorf("JSD(p,p) = %g, want ~0", same)
+	}
+}
+
+// Property: JSD is symmetric and within [0, ln2].
+func TestQuickJSDSymmetricBounded(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(8)
+		p := randDist(rng, n)
+		q := randDist(rng, n)
+		a, err1 := JSDivergence(p, q)
+		b, err2 := JSDivergence(q, p)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return math.Abs(a-b) < 1e-9 && a >= 0 && a <= math.Ln2+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: KL(p‖q) ≥ 0 (Gibbs' inequality).
+func TestQuickKLNonNegative(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(8)
+		p := randDist(rng, n)
+		q := randDist(rng, n)
+		kl, err := KLDivergence(p, q)
+		return err == nil && kl >= -1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func randDist(rng *rand.Rand, n int) []float64 {
+	p := make([]float64, n)
+	var s float64
+	for i := range p {
+		p[i] = rng.Float64() + 1e-3
+		s += p[i]
+	}
+	for i := range p {
+		p[i] /= s
+	}
+	return p
+}
+
+func TestL2Distance(t *testing.T) {
+	got, err := L2Distance([]float64{0, 0}, []float64{3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 5 {
+		t.Errorf("L2 = %g, want 5", got)
+	}
+}
+
+func TestRegIncBetaKnownValues(t *testing.T) {
+	// I_x(1,1) = x (uniform CDF).
+	for _, x := range []float64{0, 0.25, 0.5, 0.75, 1} {
+		if got := RegIncBeta(1, 1, x); math.Abs(got-x) > 1e-10 {
+			t.Errorf("I_%g(1,1) = %g, want %g", x, got, x)
+		}
+	}
+	// Symmetry: I_x(a,b) = 1 − I_{1−x}(b,a).
+	for _, tc := range []struct{ a, b, x float64 }{
+		{2, 3, 0.3}, {0.5, 0.5, 0.7}, {5, 1, 0.2},
+	} {
+		l := RegIncBeta(tc.a, tc.b, tc.x)
+		r := 1 - RegIncBeta(tc.b, tc.a, 1-tc.x)
+		if math.Abs(l-r) > 1e-10 {
+			t.Errorf("symmetry violated at a=%g b=%g x=%g: %g vs %g", tc.a, tc.b, tc.x, l, r)
+		}
+	}
+	// I_{0.5}(a,a) = 0.5 for any a.
+	for _, a := range []float64{0.5, 1, 2, 10} {
+		if got := RegIncBeta(a, a, 0.5); math.Abs(got-0.5) > 1e-10 {
+			t.Errorf("I_0.5(%g,%g) = %g, want 0.5", a, a, got)
+		}
+	}
+}
+
+func TestStudentTPValueReferenceValues(t *testing.T) {
+	// Reference two-sided p-values (scipy.stats.t.sf(|t|, df)*2).
+	cases := []struct{ tstat, df, want float64 }{
+		{0, 10, 1.0},
+		{1.812461, 10, 0.1},   // t_{0.95,10}
+		{2.228139, 10, 0.05},  // t_{0.975,10}
+		{1.959964, 1e6, 0.05}, // approaches normal
+	}
+	for _, c := range cases {
+		got := StudentTPValue(c.tstat, c.df)
+		if math.Abs(got-c.want) > 2e-4 {
+			t.Errorf("p(t=%g, df=%g) = %g, want %g", c.tstat, c.df, got, c.want)
+		}
+	}
+}
+
+func TestWelchTTestDistinguishes(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	a := make([]float64, 100)
+	b := make([]float64, 100)
+	c := make([]float64, 100)
+	for i := range a {
+		a[i] = rng.NormFloat64()
+		b[i] = rng.NormFloat64() + 3 // clearly shifted
+		c[i] = rng.NormFloat64()     // same distribution as a
+	}
+	shifted, err := WelchTTest(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shifted.P > 1e-6 {
+		t.Errorf("shifted samples should have tiny p, got %g", shifted.P)
+	}
+	same, err := WelchTTest(a, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if same.P < 0.01 {
+		t.Errorf("same-distribution samples should have larger p, got %g", same.P)
+	}
+}
+
+func TestWelchTTestDegenerate(t *testing.T) {
+	if _, err := WelchTTest([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("expected error for tiny sample")
+	}
+	res, err := WelchTTest([]float64{2, 2, 2}, []float64{2, 2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P != 1 {
+		t.Errorf("identical constant samples: p = %g, want 1", res.P)
+	}
+	res, err = WelchTTest([]float64{1, 1, 1}, []float64{2, 2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P != 0 {
+		t.Errorf("different constant samples: p = %g, want 0", res.P)
+	}
+}
+
+// Property: p-values are in [0,1] and decrease as |t| grows.
+func TestQuickPValueMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		df := 1 + rng.Float64()*50
+		t1 := rng.Float64() * 3
+		t2 := t1 + 0.5 + rng.Float64()*3
+		p1 := StudentTPValue(t1, df)
+		p2 := StudentTPValue(t2, df)
+		return p1 >= 0 && p1 <= 1 && p2 >= 0 && p2 <= 1 && p2 <= p1+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNormalCDF(t *testing.T) {
+	cases := []struct{ x, want float64 }{
+		{0, 0.5}, {1.959964, 0.975}, {-1.959964, 0.025},
+	}
+	for _, c := range cases {
+		if got := NormalCDF(c.x); math.Abs(got-c.want) > 1e-6 {
+			t.Errorf("NormalCDF(%g) = %g, want %g", c.x, got, c.want)
+		}
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h, err := Histogram([]float64{0.1, 0.2, 0.9, 1.5, -0.5}, 2, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// -0.5 clamps to bucket 0, 1.5 clamps to bucket 1.
+	if math.Abs(h[0]-0.6) > 1e-12 || math.Abs(h[1]-0.4) > 1e-12 {
+		t.Errorf("Histogram = %v, want [0.6 0.4]", h)
+	}
+	var sum float64
+	for _, v := range h {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Errorf("histogram sums to %g", sum)
+	}
+	if _, err := Histogram(nil, 0, 0, 1); err == nil {
+		t.Error("0 buckets should error")
+	}
+	if _, err := Histogram(nil, 2, 1, 1); err == nil {
+		t.Error("empty range should error")
+	}
+}

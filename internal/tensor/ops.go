@@ -1,0 +1,273 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// MatMul returns the matrix product a·b for 2-D tensors of shapes (m,k) and
+// (k,n). It panics if either operand is not 2-D or the inner dimensions
+// disagree.
+func MatMul(a, b *Tensor) *Tensor {
+	if len(a.shape) != 2 || len(b.shape) != 2 {
+		panic(fmt.Sprintf("tensor: MatMul requires 2-D operands, got %v and %v", a.shape, b.shape))
+	}
+	m, k := a.shape[0], a.shape[1]
+	k2, n := b.shape[0], b.shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMul inner dimension mismatch %v · %v", a.shape, b.shape))
+	}
+	out := New(m, n)
+	ad, bd, od := a.data, b.data, out.data
+	for i := 0; i < m; i++ {
+		arow := ad[i*k : (i+1)*k]
+		orow := od[i*n : (i+1)*n]
+		for p, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := bd[p*n : (p+1)*n]
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+	return out
+}
+
+// MatMulTransB returns a·bᵀ for a of shape (m,k) and b of shape (n,k).
+func MatMulTransB(a, b *Tensor) *Tensor {
+	if len(a.shape) != 2 || len(b.shape) != 2 {
+		panic(fmt.Sprintf("tensor: MatMulTransB requires 2-D operands, got %v and %v", a.shape, b.shape))
+	}
+	m, k := a.shape[0], a.shape[1]
+	n, k2 := b.shape[0], b.shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMulTransB inner dimension mismatch %v · %vᵀ", a.shape, b.shape))
+	}
+	out := New(m, n)
+	for i := 0; i < m; i++ {
+		arow := a.data[i*k : (i+1)*k]
+		orow := out.data[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			brow := b.data[j*k : (j+1)*k]
+			var s float64
+			for p, av := range arow {
+				s += av * brow[p]
+			}
+			orow[j] = s
+		}
+	}
+	return out
+}
+
+// MatMulTransA returns aᵀ·b for a of shape (k,m) and b of shape (k,n).
+func MatMulTransA(a, b *Tensor) *Tensor {
+	if len(a.shape) != 2 || len(b.shape) != 2 {
+		panic(fmt.Sprintf("tensor: MatMulTransA requires 2-D operands, got %v and %v", a.shape, b.shape))
+	}
+	k, m := a.shape[0], a.shape[1]
+	k2, n := b.shape[0], b.shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMulTransA inner dimension mismatch %vᵀ · %v", a.shape, b.shape))
+	}
+	out := New(m, n)
+	for p := 0; p < k; p++ {
+		arow := a.data[p*m : (p+1)*m]
+		brow := b.data[p*n : (p+1)*n]
+		for i, av := range arow {
+			if av == 0 {
+				continue
+			}
+			orow := out.data[i*n : (i+1)*n]
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+	return out
+}
+
+// Transpose2D returns the transpose of a 2-D tensor.
+func Transpose2D(a *Tensor) *Tensor {
+	if len(a.shape) != 2 {
+		panic(fmt.Sprintf("tensor: Transpose2D requires a 2-D operand, got %v", a.shape))
+	}
+	m, n := a.shape[0], a.shape[1]
+	out := New(n, m)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			out.data[j*m+i] = a.data[i*n+j]
+		}
+	}
+	return out
+}
+
+// Row returns row i of a 2-D tensor as a slice aliasing the tensor's data.
+func (t *Tensor) Row(i int) []float64 {
+	if len(t.shape) != 2 {
+		panic(fmt.Sprintf("tensor: Row requires a 2-D tensor, got %v", t.shape))
+	}
+	n := t.shape[1]
+	return t.data[i*n : (i+1)*n]
+}
+
+// SoftmaxRows returns row-wise softmax(logits/temp) for a 2-D tensor.
+// temp must be positive.
+func SoftmaxRows(logits *Tensor, temp float64) *Tensor {
+	if len(logits.shape) != 2 {
+		panic(fmt.Sprintf("tensor: SoftmaxRows requires a 2-D tensor, got %v", logits.shape))
+	}
+	if temp <= 0 {
+		panic(fmt.Sprintf("tensor: SoftmaxRows temperature must be positive, got %g", temp))
+	}
+	m, n := logits.shape[0], logits.shape[1]
+	out := New(m, n)
+	for i := 0; i < m; i++ {
+		src := logits.data[i*n : (i+1)*n]
+		dst := out.data[i*n : (i+1)*n]
+		softmaxInto(dst, src, temp)
+	}
+	return out
+}
+
+// softmaxInto writes softmax(src/temp) into dst using the max-subtraction
+// trick for numerical stability.
+func softmaxInto(dst, src []float64, temp float64) {
+	maxv := src[0]
+	for _, v := range src[1:] {
+		if v > maxv {
+			maxv = v
+		}
+	}
+	var sum float64
+	for j, v := range src {
+		e := math.Exp((v - maxv) / temp)
+		dst[j] = e
+		sum += e
+	}
+	inv := 1 / sum
+	for j := range dst {
+		dst[j] *= inv
+	}
+}
+
+// LogSoftmaxRows returns row-wise log-softmax of a 2-D tensor.
+func LogSoftmaxRows(logits *Tensor) *Tensor {
+	if len(logits.shape) != 2 {
+		panic(fmt.Sprintf("tensor: LogSoftmaxRows requires a 2-D tensor, got %v", logits.shape))
+	}
+	m, n := logits.shape[0], logits.shape[1]
+	out := New(m, n)
+	for i := 0; i < m; i++ {
+		src := logits.data[i*n : (i+1)*n]
+		dst := out.data[i*n : (i+1)*n]
+		maxv := src[0]
+		for _, v := range src[1:] {
+			if v > maxv {
+				maxv = v
+			}
+		}
+		var sum float64
+		for _, v := range src {
+			sum += math.Exp(v - maxv)
+		}
+		lse := maxv + math.Log(sum)
+		for j, v := range src {
+			dst[j] = v - lse
+		}
+	}
+	return out
+}
+
+// ArgMaxRows returns, for each row of a 2-D tensor, the index of its maximum
+// element.
+func ArgMaxRows(t *Tensor) []int {
+	if len(t.shape) != 2 {
+		panic(fmt.Sprintf("tensor: ArgMaxRows requires a 2-D tensor, got %v", t.shape))
+	}
+	m, n := t.shape[0], t.shape[1]
+	out := make([]int, m)
+	for i := 0; i < m; i++ {
+		row := t.data[i*n : (i+1)*n]
+		best := 0
+		for j, v := range row {
+			if v > row[best] {
+				best = j
+			}
+		}
+		out[i] = best
+	}
+	return out
+}
+
+// SumRows returns a length-n vector with the column sums of an (m,n) tensor.
+func SumRows(t *Tensor) *Tensor {
+	if len(t.shape) != 2 {
+		panic(fmt.Sprintf("tensor: SumRows requires a 2-D tensor, got %v", t.shape))
+	}
+	m, n := t.shape[0], t.shape[1]
+	out := New(n)
+	for i := 0; i < m; i++ {
+		row := t.data[i*n : (i+1)*n]
+		for j, v := range row {
+			out.data[j] += v
+		}
+	}
+	return out
+}
+
+// SliceRows returns a new (len(idx), n) tensor containing the selected rows
+// of an (m, …) tensor; trailing dimensions are preserved. Row indices may
+// repeat.
+func SliceRows(t *Tensor, idx []int) *Tensor {
+	if len(t.shape) < 1 {
+		panic("tensor: SliceRows on scalar tensor")
+	}
+	rowLen := 1
+	for _, d := range t.shape[1:] {
+		rowLen *= d
+	}
+	outShape := append([]int{len(idx)}, t.shape[1:]...)
+	out := New(outShape...)
+	for i, r := range idx {
+		if r < 0 || r >= t.shape[0] {
+			panic(fmt.Sprintf("tensor: SliceRows index %d out of range [0,%d)", r, t.shape[0]))
+		}
+		copy(out.data[i*rowLen:(i+1)*rowLen], t.data[r*rowLen:(r+1)*rowLen])
+	}
+	return out
+}
+
+// Concat concatenates tensors along dimension 0. All trailing dimensions
+// must match.
+func Concat(ts ...*Tensor) *Tensor {
+	if len(ts) == 0 {
+		panic("tensor: Concat of no tensors")
+	}
+	rowShape := ts[0].shape[1:]
+	rowLen := 1
+	for _, d := range rowShape {
+		rowLen *= d
+	}
+	total := 0
+	for _, t := range ts {
+		if len(t.shape) != len(ts[0].shape) {
+			panic("tensor: Concat rank mismatch")
+		}
+		for i, d := range t.shape[1:] {
+			if d != rowShape[i] {
+				panic(fmt.Sprintf("tensor: Concat trailing shape mismatch %v vs %v", t.shape, ts[0].shape))
+			}
+		}
+		total += t.shape[0]
+	}
+	outShape := append([]int{total}, rowShape...)
+	out := New(outShape...)
+	off := 0
+	for _, t := range ts {
+		copy(out.data[off:], t.data)
+		off += len(t.data)
+	}
+	return out
+}

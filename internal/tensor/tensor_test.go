@@ -1,0 +1,425 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewZeroFilled(t *testing.T) {
+	x := New(2, 3)
+	if x.Size() != 6 {
+		t.Fatalf("Size = %d, want 6", x.Size())
+	}
+	for i, v := range x.Data() {
+		if v != 0 {
+			t.Fatalf("element %d = %g, want 0", i, v)
+		}
+	}
+}
+
+func TestFromSliceAndAt(t *testing.T) {
+	x := FromSlice([]float64{1, 2, 3, 4, 5, 6}, 2, 3)
+	if got := x.At(0, 0); got != 1 {
+		t.Errorf("At(0,0) = %g, want 1", got)
+	}
+	if got := x.At(1, 2); got != 6 {
+		t.Errorf("At(1,2) = %g, want 6", got)
+	}
+	x.Set(9, 1, 0)
+	if got := x.At(1, 0); got != 9 {
+		t.Errorf("after Set, At(1,0) = %g, want 9", got)
+	}
+}
+
+func TestFromSliceLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for mismatched length")
+		}
+	}()
+	FromSlice([]float64{1, 2, 3}, 2, 2)
+}
+
+func TestAtOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for out-of-range index")
+		}
+	}()
+	New(2, 2).At(2, 0)
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	x := FromSlice([]float64{1, 2}, 2)
+	y := x.Clone()
+	y.Data()[0] = 99
+	if x.Data()[0] != 1 {
+		t.Fatal("Clone shares backing data")
+	}
+}
+
+func TestReshape(t *testing.T) {
+	x := FromSlice([]float64{1, 2, 3, 4, 5, 6}, 2, 3)
+	y := x.Reshape(3, 2)
+	if y.At(2, 1) != 6 {
+		t.Errorf("reshaped At(2,1) = %g, want 6", y.At(2, 1))
+	}
+	z := x.Reshape(-1, 2)
+	if z.Dim(0) != 3 {
+		t.Errorf("inferred dim = %d, want 3", z.Dim(0))
+	}
+	// Views share data.
+	y.Data()[0] = 42
+	if x.Data()[0] != 42 {
+		t.Error("Reshape should share data")
+	}
+}
+
+func TestReshapeBadSizePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for incompatible reshape")
+		}
+	}()
+	New(2, 3).Reshape(4, 2)
+}
+
+func TestElementwiseOps(t *testing.T) {
+	a := FromSlice([]float64{1, 2, 3}, 3)
+	b := FromSlice([]float64{4, 5, 6}, 3)
+	if got := a.Add(b).Data(); got[0] != 5 || got[2] != 9 {
+		t.Errorf("Add = %v", got)
+	}
+	if got := b.Sub(a).Data(); got[0] != 3 || got[2] != 3 {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := a.Mul(b).Data(); got[1] != 10 {
+		t.Errorf("Mul = %v", got)
+	}
+	if got := a.Scale(2).Data(); got[2] != 6 {
+		t.Errorf("Scale = %v", got)
+	}
+	if got := a.Dot(b); got != 32 {
+		t.Errorf("Dot = %g, want 32", got)
+	}
+	c := a.Clone()
+	c.AXPY(2, b)
+	if c.Data()[0] != 9 {
+		t.Errorf("AXPY = %v", c.Data())
+	}
+}
+
+func TestShapeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for shape mismatch")
+		}
+	}()
+	New(2).AddInPlace(New(3))
+}
+
+func TestReductions(t *testing.T) {
+	x := FromSlice([]float64{-1, 2, -3, 4}, 4)
+	if got := x.Sum(); got != 2 {
+		t.Errorf("Sum = %g, want 2", got)
+	}
+	if got := x.Mean(); got != 0.5 {
+		t.Errorf("Mean = %g, want 0.5", got)
+	}
+	if got := x.Max(); got != 4 {
+		t.Errorf("Max = %g, want 4", got)
+	}
+	if got := x.L2Norm(); math.Abs(got-math.Sqrt(30)) > 1e-12 {
+		t.Errorf("L2Norm = %g, want sqrt(30)", got)
+	}
+}
+
+func TestMatMul(t *testing.T) {
+	a := FromSlice([]float64{1, 2, 3, 4, 5, 6}, 2, 3)
+	b := FromSlice([]float64{7, 8, 9, 10, 11, 12}, 3, 2)
+	c := MatMul(a, b)
+	want := []float64{58, 64, 139, 154}
+	for i, w := range want {
+		if c.Data()[i] != w {
+			t.Fatalf("MatMul[%d] = %g, want %g", i, c.Data()[i], w)
+		}
+	}
+}
+
+func TestMatMulTransVariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := New(3, 4).RandNormal(rng, 0, 1)
+	b := New(5, 4).RandNormal(rng, 0, 1)
+	got := MatMulTransB(a, b)
+	want := MatMul(a, Transpose2D(b))
+	if !got.ApproxEqual(want, 1e-12) {
+		t.Error("MatMulTransB disagrees with MatMul(a, bᵀ)")
+	}
+	c := New(4, 3).RandNormal(rng, 0, 1)
+	d := New(4, 5).RandNormal(rng, 0, 1)
+	got2 := MatMulTransA(c, d)
+	want2 := MatMul(Transpose2D(c), d)
+	if !got2.ApproxEqual(want2, 1e-12) {
+		t.Error("MatMulTransA disagrees with MatMul(cᵀ, d)")
+	}
+}
+
+func TestTranspose2D(t *testing.T) {
+	a := FromSlice([]float64{1, 2, 3, 4, 5, 6}, 2, 3)
+	b := Transpose2D(a)
+	if b.Dim(0) != 3 || b.Dim(1) != 2 {
+		t.Fatalf("Transpose shape = %v", b.Shape())
+	}
+	if b.At(2, 1) != 6 || b.At(0, 1) != 4 {
+		t.Errorf("Transpose values wrong: %v", b.Data())
+	}
+}
+
+func TestSoftmaxRowsSumsToOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	x := New(5, 7).RandNormal(rng, 0, 3)
+	for _, temp := range []float64{0.5, 1, 3} {
+		p := SoftmaxRows(x, temp)
+		for i := 0; i < 5; i++ {
+			var s float64
+			for _, v := range p.Row(i) {
+				if v < 0 || v > 1 {
+					t.Fatalf("softmax prob out of [0,1]: %g", v)
+				}
+				s += v
+			}
+			if math.Abs(s-1) > 1e-12 {
+				t.Fatalf("softmax row %d sums to %g", i, s)
+			}
+		}
+	}
+}
+
+func TestSoftmaxTemperatureSmooths(t *testing.T) {
+	x := FromSlice([]float64{3, 0, -1}, 1, 3)
+	sharp := SoftmaxRows(x, 0.5)
+	smooth := SoftmaxRows(x, 5)
+	if !(sharp.At(0, 0) > smooth.At(0, 0)) {
+		t.Errorf("higher temperature should flatten the max: sharp=%g smooth=%g",
+			sharp.At(0, 0), smooth.At(0, 0))
+	}
+}
+
+func TestSoftmaxNumericalStability(t *testing.T) {
+	x := FromSlice([]float64{1000, 999, -1000}, 1, 3)
+	p := SoftmaxRows(x, 1)
+	for _, v := range p.Data() {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("softmax produced %g on extreme logits", v)
+		}
+	}
+	if p.At(0, 0) <= p.At(0, 1) {
+		t.Error("ordering lost after stabilization")
+	}
+}
+
+func TestLogSoftmaxMatchesLogOfSoftmax(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	x := New(4, 6).RandNormal(rng, 0, 2)
+	ls := LogSoftmaxRows(x)
+	p := SoftmaxRows(x, 1)
+	for i, v := range ls.Data() {
+		if math.Abs(math.Exp(v)-p.Data()[i]) > 1e-10 {
+			t.Fatalf("exp(logsoftmax) != softmax at %d: %g vs %g", i, math.Exp(v), p.Data()[i])
+		}
+	}
+}
+
+func TestArgMaxRows(t *testing.T) {
+	x := FromSlice([]float64{1, 5, 2, 9, 0, 3}, 2, 3)
+	got := ArgMaxRows(x)
+	if got[0] != 1 || got[1] != 0 {
+		t.Errorf("ArgMaxRows = %v, want [1 0]", got)
+	}
+}
+
+func TestSumRows(t *testing.T) {
+	x := FromSlice([]float64{1, 2, 3, 4, 5, 6}, 2, 3)
+	s := SumRows(x)
+	want := []float64{5, 7, 9}
+	for i, w := range want {
+		if s.Data()[i] != w {
+			t.Errorf("SumRows[%d] = %g, want %g", i, s.Data()[i], w)
+		}
+	}
+}
+
+func TestSliceRows(t *testing.T) {
+	x := FromSlice([]float64{1, 2, 3, 4, 5, 6}, 3, 2)
+	y := SliceRows(x, []int{2, 0, 2})
+	want := []float64{5, 6, 1, 2, 5, 6}
+	for i, w := range want {
+		if y.Data()[i] != w {
+			t.Fatalf("SliceRows data[%d] = %g, want %g", i, y.Data()[i], w)
+		}
+	}
+	// Must be a copy.
+	y.Data()[0] = -1
+	if x.At(2, 0) != 5 {
+		t.Error("SliceRows must copy data")
+	}
+}
+
+func TestConcat(t *testing.T) {
+	a := FromSlice([]float64{1, 2}, 1, 2)
+	b := FromSlice([]float64{3, 4, 5, 6}, 2, 2)
+	c := Concat(a, b)
+	if c.Dim(0) != 3 || c.Dim(1) != 2 {
+		t.Fatalf("Concat shape = %v", c.Shape())
+	}
+	if c.At(2, 1) != 6 {
+		t.Errorf("Concat At(2,1) = %g, want 6", c.At(2, 1))
+	}
+}
+
+func TestRandNormalDeterministic(t *testing.T) {
+	a := New(10).RandNormal(rand.New(rand.NewSource(7)), 0, 1)
+	b := New(10).RandNormal(rand.New(rand.NewSource(7)), 0, 1)
+	if !a.ApproxEqual(b, 0) {
+		t.Error("same seed must give identical samples")
+	}
+}
+
+// Property: (a+b)−b == a elementwise (exact for float addition then
+// subtraction is not exact in general, so allow tiny tolerance).
+func TestQuickAddSubRoundTrip(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		vals := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e12 {
+				v = 1
+			}
+			vals = append(vals, v)
+		}
+		a := FromSlice(append([]float64(nil), vals...), len(vals))
+		b := a.Scale(0.5)
+		got := a.Add(b).Sub(b)
+		return got.ApproxEqual(a, 1e-3)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: MatMul distributes over addition: A(B+C) == AB + AC.
+func TestQuickMatMulDistributive(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m, k, n := 1+rng.Intn(4), 1+rng.Intn(4), 1+rng.Intn(4)
+		a := New(m, k).RandNormal(rng, 0, 1)
+		b := New(k, n).RandNormal(rng, 0, 1)
+		c := New(k, n).RandNormal(rng, 0, 1)
+		left := MatMul(a, b.Add(c))
+		right := MatMul(a, b).Add(MatMul(a, c))
+		return left.ApproxEqual(right, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: softmax is invariant to adding a constant to all logits.
+func TestQuickSoftmaxShiftInvariant(t *testing.T) {
+	f := func(seed int64, shift float64) bool {
+		if math.IsNaN(shift) || math.IsInf(shift, 0) || math.Abs(shift) > 100 {
+			shift = 1.5
+		}
+		rng := rand.New(rand.NewSource(seed))
+		x := New(2, 5).RandNormal(rng, 0, 2)
+		y := x.Clone()
+		for i := range y.Data() {
+			y.Data()[i] += shift
+		}
+		return SoftmaxRows(x, 1).ApproxEqual(SoftmaxRows(y, 1), 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStringTruncates(t *testing.T) {
+	s := New(3, 4).Fill(1.5).String()
+	if !strings.Contains(s, "Tensor(3x4)") || !strings.Contains(s, "...") {
+		t.Errorf("String = %q", s)
+	}
+	short := FromSlice([]float64{1}, 1).String()
+	if strings.Contains(short, "...") {
+		t.Errorf("short tensor should not truncate: %q", short)
+	}
+}
+
+func TestMaxEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Max of empty tensor should panic")
+		}
+	}()
+	New(0).Max()
+}
+
+func TestMatMulShapePanics(t *testing.T) {
+	cases := []func(){
+		func() { MatMul(New(2, 3), New(4, 2)) },         // inner mismatch
+		func() { MatMul(New(2), New(2, 2)) },            // 1-D operand
+		func() { MatMulTransB(New(2, 3), New(2, 4)) },   // inner mismatch
+		func() { MatMulTransA(New(2, 3), New(3, 4)) },   // inner mismatch
+		func() { Transpose2D(New(2, 2, 2)) },            // 3-D operand
+		func() { SoftmaxRows(New(2, 2), 0) },            // zero temperature
+		func() { New(2, 2).Row(0); ArgMaxRows(New(2)) }, // 1-D argmax
+		func() { SumRows(New(3)) },                      // 1-D sums
+		func() { SliceRows(New(3, 2), []int{5}) },       // out of range
+		func() { Concat(New(2, 3), New(2, 4)) },         // trailing mismatch
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestCopyFromAndZero(t *testing.T) {
+	a := FromSlice([]float64{1, 2, 3}, 3)
+	b := New(3)
+	b.CopyFrom(a)
+	if !b.ApproxEqual(a, 0) {
+		t.Error("CopyFrom failed")
+	}
+	b.Zero()
+	if b.Sum() != 0 {
+		t.Error("Zero failed")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("CopyFrom size mismatch should panic")
+		}
+	}()
+	New(2).CopyFrom(a)
+}
+
+func TestRandUniformRange(t *testing.T) {
+	x := New(1000).RandUniform(rand.New(rand.NewSource(5)), -2, 3)
+	for _, v := range x.Data() {
+		if v < -2 || v >= 3 {
+			t.Fatalf("uniform sample %g out of [-2,3)", v)
+		}
+	}
+	if m := x.Mean(); math.Abs(m-0.5) > 0.3 {
+		t.Errorf("uniform mean = %g, want ≈0.5", m)
+	}
+}
