@@ -1,0 +1,226 @@
+package goldfish_test
+
+import (
+	"context"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"goldfish"
+)
+
+// fastConfig returns a small MLP client configuration matched to the given
+// preset's data dimensions — quick enough to run every strategy's
+// round-trip in one test.
+func fastConfig(p goldfish.Preset) goldfish.Config {
+	cfg := goldfish.DefaultConfig(goldfish.ModelConfig{
+		Arch:    goldfish.ArchMLP,
+		InC:     p.Spec.Channels,
+		InH:     p.Spec.Size,
+		InW:     p.Spec.Size,
+		Classes: p.Spec.Classes,
+		Seed:    1,
+	})
+	cfg.Opt.LR = 0.1
+	cfg.BatchSize = 32
+	cfg.LocalEpochs = 3
+	return cfg
+}
+
+func TestNewDefaults(t *testing.T) {
+	e, err := goldfish.New(goldfish.WithDataset("mnist", goldfish.ScaleTiny))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Strategy() != "goldfish" {
+		t.Errorf("default strategy = %q, want goldfish", e.Strategy())
+	}
+	if e.NumClients() != 5 {
+		t.Errorf("NumClients = %d, want the preset default 5", e.NumClients())
+	}
+	if e.DefaultRounds() <= 0 {
+		t.Errorf("DefaultRounds = %d, want the preset budget", e.DefaultRounds())
+	}
+	if e.TrainData() == nil || e.TestData() == nil {
+		t.Error("preset-backed engine should expose generated train/test data")
+	}
+	if len(e.Partitions()) != 5 {
+		t.Errorf("Partitions = %d, want 5", len(e.Partitions()))
+	}
+	if e.Round() != 0 {
+		t.Errorf("fresh engine Round = %d", e.Round())
+	}
+	if e.Client(99) != nil {
+		t.Error("out-of-range Client should be nil, not panic")
+	}
+}
+
+func TestNewOptionValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		opts []goldfish.Option
+		want string
+	}{
+		{"no data", nil, "no data"},
+		{"nil option", []goldfish.Option{nil}, "nil option"},
+		{"unknown dataset", []goldfish.Option{goldfish.WithDataset("bogus", goldfish.ScaleTiny)}, ""},
+		{"empty dataset", []goldfish.Option{goldfish.WithDataset("", goldfish.ScaleTiny)}, "empty dataset"},
+		{"unknown strategy", []goldfish.Option{
+			goldfish.WithDataset("mnist", goldfish.ScaleTiny),
+			goldfish.WithUnlearner("totally-bogus"),
+		}, "unknown strategy"},
+		{"bad clients", []goldfish.Option{
+			goldfish.WithDataset("mnist", goldfish.ScaleTiny),
+			goldfish.WithClients(0),
+		}, "positive client count"},
+		{"bad fraction", []goldfish.Option{
+			goldfish.WithDataset("mnist", goldfish.ScaleTiny),
+			goldfish.WithClientFraction(1.5),
+		}, "out of [0,1]"},
+		{"bad min clients", []goldfish.Option{
+			goldfish.WithDataset("mnist", goldfish.ScaleTiny),
+			goldfish.WithMinClients(0),
+		}, "positive count"},
+		{"min clients above count", []goldfish.Option{
+			goldfish.WithDataset("mnist", goldfish.ScaleTiny),
+			goldfish.WithClients(2),
+			goldfish.WithMinClients(5),
+		}, "exceeds client count"},
+		{"negative timeout", []goldfish.Option{
+			goldfish.WithDataset("mnist", goldfish.ScaleTiny),
+			goldfish.WithRoundTimeout(-time.Second),
+		}, "negative timeout"},
+		{"nil aggregator", []goldfish.Option{
+			goldfish.WithDataset("mnist", goldfish.ScaleTiny),
+			goldfish.WithAggregator(nil),
+		}, "nil aggregator"},
+		{"nil transport", []goldfish.Option{
+			goldfish.WithDataset("mnist", goldfish.ScaleTiny),
+			goldfish.WithTransport(nil),
+		}, "nil transport"},
+		{"partitions without config", []goldfish.Option{
+			goldfish.WithPartitions(make([]*goldfish.Dataset, 2)),
+		}, "WithClientConfig"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := goldfish.New(tc.opts...)
+			if err == nil {
+				t.Fatalf("%s: accepted", tc.name)
+			}
+			if tc.want != "" && !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestUnlearnerRegistry(t *testing.T) {
+	names := goldfish.Unlearners()
+	for _, want := range []string{"goldfish", "retrain", "fisher", "incompetent-teacher"} {
+		found := false
+		for _, n := range names {
+			if n == want {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("registry %v missing %q", names, want)
+		}
+	}
+}
+
+// TestAllStrategiesDeletionRoundTrip is the acceptance gate of the engine +
+// strategy redesign: every registered unlearning method runs the same
+// train → RequestDeletion → unlearn flow through goldfish.New, and the
+// model's accuracy recovers.
+func TestAllStrategiesDeletionRoundTrip(t *testing.T) {
+	p, err := goldfish.NewPreset("mnist", goldfish.ScaleTiny, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, _, err := p.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"goldfish", "retrain", "fisher", "incompetent-teacher"} {
+		t.Run(name, func(t *testing.T) {
+			parts, err := goldfish.PartitionIID(train, 3, rand.New(rand.NewSource(11)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := fastConfig(p)
+			if name == "fisher" {
+				cfg.Opt.LR = 0.01 // preconditioned steps are larger; lower LR
+			}
+			var sawUnlearn bool
+			e, err := goldfish.New(
+				goldfish.WithPreset(p),
+				goldfish.WithPartitions(parts),
+				goldfish.WithClientConfig(cfg),
+				goldfish.WithUnlearner(name),
+				goldfish.WithRoundHook(func(rs goldfish.RoundStats) {
+					sawUnlearn = sawUnlearn || rs.UnlearningRound
+				}),
+			)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if e.Strategy() != name {
+				t.Fatalf("Strategy() = %q, want %q", e.Strategy(), name)
+			}
+			ctx := context.Background()
+			if err := e.Run(ctx, 6); err != nil {
+				t.Fatal(err)
+			}
+			accBefore, err := e.TestAccuracy(nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if accBefore < 0.35 {
+				t.Fatalf("%s: trained accuracy %g too low for a meaningful round trip", name, accBefore)
+			}
+			if err := e.RequestDeletion(0, []int{0, 1, 2, 3, 4}); err != nil {
+				t.Fatal(err)
+			}
+			if err := e.Run(ctx, 6); err != nil {
+				t.Fatal(err)
+			}
+			if !sawUnlearn {
+				t.Errorf("%s: deletion did not mark an unlearning round", name)
+			}
+			accAfter, err := e.TestAccuracy(nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if accAfter < 0.3 {
+				t.Errorf("%s: accuracy %g did not recover after unlearning (was %g)", name, accAfter, accBefore)
+			}
+		})
+	}
+}
+
+// TestEngineClientFraction checks client sampling through the public API.
+func TestEngineClientFraction(t *testing.T) {
+	var perRound []int
+	e, err := goldfish.New(
+		goldfish.WithDataset("mnist", goldfish.ScaleTiny),
+		goldfish.WithClients(4),
+		goldfish.WithClientFraction(0.5),
+		goldfish.WithSampleSeed(3),
+		goldfish.WithRoundHook(func(rs goldfish.RoundStats) { perRound = append(perRound, len(rs.Updates)) }),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(context.Background(), 2); err != nil {
+		t.Fatal(err)
+	}
+	for r, n := range perRound {
+		if n != 2 {
+			t.Errorf("round %d aggregated %d updates, want 2 (fraction 0.5 of 4)", r, n)
+		}
+	}
+}

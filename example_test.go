@@ -20,46 +20,62 @@ func ExampleNewPreset() {
 	// Output: mnist 10 5
 }
 
-// ExampleNewFederation trains a minimal two-client federation and evaluates
-// the global model.
-func ExampleNewFederation() {
-	p, _ := goldfish.NewPreset("mnist", goldfish.ScaleTiny, 1)
-	train, test, _ := p.Generate()
-	parts, _ := goldfish.PartitionIID(train, 2, rand.New(rand.NewSource(1)))
-
-	fed, err := goldfish.NewFederation(goldfish.FederationConfig{Client: p.ClientConfig()}, parts)
+// ExampleNew trains a minimal two-client federation through the options API
+// and evaluates the global model.
+func ExampleNew() {
+	e, err := goldfish.New(
+		goldfish.WithDataset("mnist", goldfish.ScaleTiny),
+		goldfish.WithClients(2),
+	)
 	if err != nil {
 		fmt.Println(err)
 		return
 	}
-	if err := fed.Run(context.Background(), 6, nil); err != nil {
+	if err := e.Run(context.Background(), 6); err != nil {
 		fmt.Println(err)
 		return
 	}
-	net, _ := fed.GlobalNet()
-	fmt.Println(goldfish.Accuracy(net, test) > 0.3)
+	acc, _ := e.TestAccuracy(nil)
+	fmt.Println(acc > 0.3)
 	// Output: true
 }
 
-// ExampleFederation_RequestDeletion demonstrates the right-to-be-forgotten
+// ExampleEngine_RequestDeletion demonstrates the right-to-be-forgotten
 // flow: after the deletion request, the next rounds unlearn the rows.
-func ExampleFederation_RequestDeletion() {
-	p, _ := goldfish.NewPreset("mnist", goldfish.ScaleTiny, 1)
-	train, _, _ := p.Generate()
-	parts, _ := goldfish.PartitionIID(train, 2, rand.New(rand.NewSource(1)))
-
-	fed, _ := goldfish.NewFederation(goldfish.FederationConfig{Client: p.ClientConfig()}, parts)
+func ExampleEngine_RequestDeletion() {
+	var unlearned bool
+	e, _ := goldfish.New(
+		goldfish.WithDataset("mnist", goldfish.ScaleTiny),
+		goldfish.WithClients(2),
+		goldfish.WithRoundHook(func(rs goldfish.RoundStats) { unlearned = unlearned || rs.UnlearningRound }),
+	)
 	ctx := context.Background()
-	_ = fed.Run(ctx, 2, nil)
+	_ = e.Run(ctx, 2)
 
-	if err := fed.RequestDeletion(0, []int{0, 1, 2}); err != nil {
+	if err := e.RequestDeletion(0, []int{0, 1, 2}); err != nil {
 		fmt.Println(err)
 		return
 	}
-	var unlearned bool
-	_ = fed.Run(ctx, 1, func(rs goldfish.RoundStats) { unlearned = rs.UnlearningRound })
-	fmt.Println(unlearned, fed.Client(0).NumActive() == parts[0].Len()-3)
+	before := e.Partitions()[0].Len()
+	_ = e.Run(ctx, 1)
+	fmt.Println(unlearned, e.Client(0).NumActive() == before-3)
 	// Output: true true
+}
+
+// ExampleWithUnlearner selects a baseline strategy from the Unlearner
+// registry.
+func ExampleWithUnlearner() {
+	e, err := goldfish.New(
+		goldfish.WithDataset("mnist", goldfish.ScaleTiny),
+		goldfish.WithClients(2),
+		goldfish.WithUnlearner("retrain"),
+	)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println(e.Strategy(), e.NumClients())
+	// Output: retrain 2
 }
 
 // ExampleBackdoorConfig shows the trigger-patch attack used to probe

@@ -50,12 +50,16 @@ func run() error {
 		return err
 	}
 
-	// Origin + ours share one federation.
-	fedr, err := goldfish.NewFederation(goldfish.FederationConfig{Client: p.ClientConfig()}, parts)
+	// Origin + ours share one engine running the paper's procedure.
+	fedr, err := goldfish.New(
+		goldfish.WithPreset(p),
+		goldfish.WithPartitions(parts),
+		goldfish.WithUnlearner("goldfish"),
+	)
 	if err != nil {
 		return err
 	}
-	if err := fedr.Run(ctx, p.Rounds, nil); err != nil {
+	if err := fedr.Run(ctx, p.Rounds); err != nil {
 		return err
 	}
 	origin, err := fedr.GlobalNet()
@@ -65,7 +69,7 @@ func run() error {
 	if err := fedr.RequestDeletion(0, poisoned); err != nil {
 		return err
 	}
-	if err := fedr.Run(ctx, p.Rounds, nil); err != nil {
+	if err := fedr.Run(ctx, p.Rounds); err != nil {
 		return err
 	}
 	ours, err := fedr.GlobalNet()
@@ -73,24 +77,24 @@ func run() error {
 		return err
 	}
 
-	// B1 reference: a fresh federation over the data minus the poisoned
-	// rows.
-	cleanParts := make([]*goldfish.Dataset, len(parts))
-	for i, part := range parts {
-		if i == 0 {
-			cleanParts[i] = part.Remove(poisoned)
-		} else {
-			cleanParts[i] = part
-		}
-	}
-	cfgB1 := p.ClientConfig()
-	cfgB1.Loss.MuD = 0 // plain retraining, no distillation
-	cfgB1.Loss.MuC = 0
-	ref, err := goldfish.NewFederation(goldfish.FederationConfig{Client: cfgB1}, cleanParts)
+	// B1 reference: the "retrain" strategy from the Unlearner registry runs
+	// the same train → delete → recover flow, dropping the poisoned rows
+	// and retraining from scratch.
+	ref, err := goldfish.New(
+		goldfish.WithPreset(p),
+		goldfish.WithPartitions(parts),
+		goldfish.WithUnlearner("retrain"),
+	)
 	if err != nil {
 		return err
 	}
-	if err := ref.Run(ctx, p.Rounds, nil); err != nil {
+	if err := ref.Run(ctx, p.Rounds); err != nil {
+		return err
+	}
+	if err := ref.RequestDeletion(0, poisoned); err != nil {
+		return err
+	}
+	if err := ref.Run(ctx, p.Rounds); err != nil {
 		return err
 	}
 	b1, err := ref.GlobalNet()

@@ -55,24 +55,31 @@ func run() error {
 		{"fedavg", goldfish.FedAvg{}},
 		{"adaptive (Eq.12-13)", goldfish.AdaptiveWeight{}},
 	} {
-		cfg := goldfish.FederationConfig{Client: p.ClientConfig(), Aggregator: r.agg}
-		if _, ok := r.agg.(goldfish.AdaptiveWeight); ok {
-			cfg.ServerTest = test
-		}
-		fedr, err := goldfish.NewFederation(cfg, parts)
+		var accs []float64
+		var fedr *goldfish.Engine
+		var hookErr error
+		fedr, err := goldfish.New(
+			goldfish.WithPreset(p),
+			goldfish.WithPartitions(parts),
+			goldfish.WithAggregator(r.agg),
+			goldfish.WithServerTest(test),
+			goldfish.WithRoundHook(func(rs goldfish.RoundStats) {
+				net, nerr := fedr.GlobalNet()
+				if nerr != nil {
+					hookErr = nerr
+					return
+				}
+				accs = append(accs, goldfish.Accuracy(net, test))
+			}),
+		)
 		if err != nil {
 			return err
 		}
-		var accs []float64
-		if err := fedr.Run(ctx, p.Rounds, func(rs goldfish.RoundStats) {
-			net, nerr := fedr.GlobalNet()
-			if nerr != nil {
-				err = nerr
-				return
-			}
-			accs = append(accs, goldfish.Accuracy(net, test))
-		}); err != nil {
+		if err := fedr.Run(ctx, p.Rounds); err != nil {
 			return err
+		}
+		if hookErr != nil {
+			return hookErr
 		}
 		results[r.name] = accs
 	}

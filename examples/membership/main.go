@@ -53,11 +53,14 @@ func run() error {
 		return err
 	}
 
-	fedr, err := goldfish.NewFederation(goldfish.FederationConfig{Client: p.ClientConfig()}, parts[:3])
+	fedr, err := goldfish.New(
+		goldfish.WithPreset(p),
+		goldfish.WithPartitions(parts[:3]),
+	)
 	if err != nil {
 		return err
 	}
-	if err := fedr.Run(ctx, 4, nil); err != nil {
+	if err := fedr.Run(ctx, 4); err != nil {
 		return err
 	}
 	report := func(stage string) error {
@@ -79,7 +82,7 @@ func run() error {
 	if _, err := fedr.AddClient(parts[3]); err != nil {
 		return err
 	}
-	if err := fedr.Run(ctx, 3, nil); err != nil {
+	if err := fedr.Run(ctx, 3); err != nil {
 		return err
 	}
 	if err := report("after client 3 joined"); err != nil {
@@ -93,7 +96,7 @@ func run() error {
 	if err := fedr.RemoveClient(2, true); err != nil {
 		return err
 	}
-	if err := fedr.Run(ctx, 6, nil); err != nil {
+	if err := fedr.Run(ctx, 6); err != nil {
 		return err
 	}
 	if err := report("after client 2 left (unlearned)"); err != nil {

@@ -57,11 +57,15 @@ func run() error {
 		len(poisoned), parts[0].Len(), bd.TargetLabel)
 
 	// 3. Federated training (the backdoor contaminates the global model).
-	fedr, err := goldfish.NewFederation(goldfish.FederationConfig{Client: p.ClientConfig()}, parts)
+	fedr, err := goldfish.New(
+		goldfish.WithPreset(p),
+		goldfish.WithPartitions(parts),
+		goldfish.WithUnlearner("goldfish"),
+	)
 	if err != nil {
 		return err
 	}
-	if err := fedr.Run(ctx, p.Rounds, nil); err != nil {
+	if err := fedr.Run(ctx, p.Rounds); err != nil {
 		return err
 	}
 	net, err := fedr.GlobalNet()
@@ -77,7 +81,7 @@ func run() error {
 	if err := fedr.RequestDeletion(0, poisoned); err != nil {
 		return err
 	}
-	if err := fedr.Run(ctx, p.Rounds, nil); err != nil {
+	if err := fedr.Run(ctx, p.Rounds); err != nil {
 		return err
 	}
 	net, err = fedr.GlobalNet()

@@ -48,12 +48,15 @@ func run() error {
 		cfg.Shards = tau
 
 		local := train.Clone()
-		fedr, err := goldfish.NewFederation(goldfish.FederationConfig{Client: cfg},
-			[]*goldfish.Dataset{local})
+		fedr, err := goldfish.New(
+			goldfish.WithPreset(p),
+			goldfish.WithClientConfig(cfg),
+			goldfish.WithPartitions([]*goldfish.Dataset{local}),
+		)
 		if err != nil {
 			return err
 		}
-		if err := fedr.Run(ctx, 3, nil); err != nil {
+		if err := fedr.Run(ctx, 3); err != nil {
 			return err
 		}
 		pre, err := fedr.TestAccuracy(test)
@@ -82,7 +85,7 @@ func run() error {
 			return err
 		}
 		start := time.Now()
-		if err := fedr.Run(ctx, 1, nil); err != nil {
+		if err := fedr.Run(ctx, 1); err != nil {
 			return err
 		}
 		delTime := time.Since(start)
@@ -90,7 +93,7 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		if err := fedr.Run(ctx, 3, nil); err != nil {
+		if err := fedr.Run(ctx, 3); err != nil {
 			return err
 		}
 		rec, err := fedr.TestAccuracy(test)

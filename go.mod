@@ -1,0 +1,3 @@
+module goldfish
+
+go 1.24

@@ -7,15 +7,21 @@
 // (early termination, SISA data sharding) and extension (adaptive
 // distillation temperature, adaptive-weight aggregation).
 //
+// The public surface is an engine + strategy design: goldfish.New builds a
+// federated-unlearning engine from functional options, and the Unlearner
+// registry makes the paper's procedure and its three baselines ("goldfish",
+// "retrain", "fisher", "incompetent-teacher") interchangeable strategies
+// over one shared federated runtime.
+//
 // Quick start:
 //
-//	p, _ := goldfish.NewPreset("mnist", goldfish.ScaleSmall, 1)
-//	train, test, _ := p.Generate()
-//	parts, _ := goldfish.PartitionIID(train, 4, rand.New(rand.NewSource(1)))
-//	fed, _ := goldfish.NewFederation(goldfish.FederationConfig{Client: p.ClientConfig()}, parts)
-//	_ = fed.Run(ctx, 8, nil)                    // train
-//	_ = fed.RequestDeletion(0, rowsToForget)    // right to be forgotten
-//	_ = fed.Run(ctx, 8, nil)                    // unlearn + recover
+//	e, _ := goldfish.New(
+//		goldfish.WithDataset("mnist", goldfish.ScaleSmall),
+//		goldfish.WithUnlearner("goldfish"),
+//	)
+//	_ = e.Run(ctx, 8)                         // train
+//	_ = e.RequestDeletion(0, rowsToForget)    // right to be forgotten
+//	_ = e.Run(ctx, 8)                         // unlearn + recover
 //
 // See the examples/ directory for runnable scenarios and internal/bench for
 // the paper's full experiment suite.
@@ -35,21 +41,27 @@ import (
 	"goldfish/internal/persist"
 	"goldfish/internal/preset"
 	"goldfish/internal/stats"
+	"goldfish/internal/unlearn"
 )
 
-// Core framework types (see internal/core for details).
+// Core framework types (see internal/core and internal/unlearn for
+// details).
 type (
 	// Config configures a Goldfish client: model, loss, optimizer, local
 	// epochs, early termination, sharding.
 	Config = core.Config
-	// FederationConfig configures the server side of Algorithm 1.
-	FederationConfig = core.FederationConfig
-	// Federation orchestrates clients and deletion requests.
-	Federation = core.Federation
 	// Client is one federation participant.
 	Client = core.Client
 	// RoundStats summarizes a completed round for callbacks.
-	RoundStats = core.RoundStats
+	RoundStats = unlearn.RoundStats
+	// Unlearner is a pluggable federated-unlearning strategy. The built-in
+	// registry names are "goldfish" (the paper's procedure), "retrain"
+	// (B1), "fisher" (B2) and "incompetent-teacher" (B3); select one with
+	// WithUnlearner and add custom strategies with RegisterUnlearner.
+	Unlearner = unlearn.Strategy
+	// UnlearnerEnv is the federation setup an Unlearner builds its
+	// trainers from.
+	UnlearnerEnv = unlearn.Env
 )
 
 // Data types.
@@ -83,7 +95,7 @@ type (
 	HardLoss = loss.Hard
 )
 
-// Aggregation types.
+// Aggregation and runtime types.
 type (
 	// Aggregator combines client updates into a global model.
 	Aggregator = fed.Aggregator
@@ -93,6 +105,12 @@ type (
 	AdaptiveWeight = fed.AdaptiveWeight
 	// ModelUpdate is one client's upload.
 	ModelUpdate = fed.ModelUpdate
+	// LocalTrainer is the client-side training logic an Unlearner builds
+	// for each participant.
+	LocalTrainer = fed.LocalTrainer
+	// Transport dispatches one round of local training (in-process by
+	// default; see WithTransport).
+	Transport = fed.Transport
 )
 
 // SGDConfig configures local stochastic gradient descent.
@@ -136,11 +154,15 @@ func DefaultConfig(m ModelConfig) Config { return core.DefaultConfig(m) }
 // T=3, cross-entropy hard loss).
 func DefaultLoss() GoldfishLoss { return loss.NewGoldfish() }
 
-// NewFederation creates a federation with one Goldfish client per dataset
-// partition.
-func NewFederation(cfg FederationConfig, parts []*Dataset) (*Federation, error) {
-	return core.NewFederation(cfg, parts)
+// RegisterUnlearner adds a strategy factory to the Unlearner registry under
+// name, replacing any previous registration; WithUnlearner(name) then
+// selects it.
+func RegisterUnlearner(name string, factory func() Unlearner) {
+	unlearn.Register(name, factory)
 }
+
+// Unlearners lists the registered unlearning-strategy names, sorted.
+func Unlearners() []string { return unlearn.Names() }
 
 // BuildModel constructs a network from the model zoo.
 func BuildModel(cfg ModelConfig) (*Network, error) { return model.Build(cfg) }

@@ -35,12 +35,15 @@ func TestFacadeQuickstart(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	fedr, err := goldfish.NewFederation(goldfish.FederationConfig{Client: p.ClientConfig()}, parts)
+	fedr, err := goldfish.New(
+		goldfish.WithPreset(p),
+		goldfish.WithPartitions(parts),
+	)
 	if err != nil {
 		t.Fatal(err)
 	}
 	ctx := context.Background()
-	if err := fedr.Run(ctx, p.Rounds, nil); err != nil {
+	if err := fedr.Run(ctx, p.Rounds); err != nil {
 		t.Fatal(err)
 	}
 	net, err := fedr.GlobalNet()
@@ -59,7 +62,7 @@ func TestFacadeQuickstart(t *testing.T) {
 	if err := fedr.RequestDeletion(0, poisoned); err != nil {
 		t.Fatal(err)
 	}
-	if err := fedr.Run(ctx, p.Rounds, nil); err != nil {
+	if err := fedr.Run(ctx, p.Rounds); err != nil {
 		t.Fatal(err)
 	}
 	net, err = fedr.GlobalNet()

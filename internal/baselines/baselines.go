@@ -11,6 +11,11 @@
 //
 // Running B1 with no removals doubles as the "origin" model (train on
 // everything, never unlearn).
+//
+// The trainer types (PlainTrainer, IncompetentTrainer) are exported so the
+// unlearning-strategy registry (internal/unlearn) can drive the baselines
+// through the same round engine as the Goldfish procedure; the package-level
+// functions remain the one-shot experiment entry points.
 package baselines
 
 import (
@@ -73,22 +78,93 @@ func dropRemoved(parts []*data.Dataset, removed map[int][]int) []*data.Dataset {
 	return out
 }
 
-// plainTrainer is per-client local SGD on hard loss, optionally with
-// diagonal-FIM preconditioning (B2).
-type plainTrainer struct {
+// PlainTrainer is per-client local SGD on hard loss, optionally with
+// diagonal-FIM preconditioning (the B2 rapid-retraining rule). It implements
+// fed.LocalTrainer.
+type PlainTrainer struct {
 	id      int
+	sc      Scenario
 	ds      *data.Dataset
 	net     *nn.Network
 	opt     *optim.SGD
 	hard    loss.Hard
-	epochs  int
-	batch   int
 	rng     *rand.Rand
 	precond bool
 	fim     []float64 // EMA of squared gradients (diagonal FIM estimate)
 }
 
-func (p *plainTrainer) TrainRound(ctx context.Context, round int, global []float64) (fed.ModelUpdate, error) {
+var _ fed.LocalTrainer = (*PlainTrainer)(nil)
+
+// NewPlainTrainer builds a B1/B2 client over its local dataset. precond
+// enables the B2 Fisher preconditioning.
+func NewPlainTrainer(id int, sc Scenario, ds *data.Dataset, precond bool) (*PlainTrainer, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	if ds == nil || ds.Len() == 0 {
+		return nil, fmt.Errorf("baselines: client %d has no data", id)
+	}
+	mcfg := sc.Model
+	mcfg.Seed = sc.Model.Seed + int64(id)*977 + 13
+	net, err := model.Build(mcfg)
+	if err != nil {
+		return nil, fmt.Errorf("baselines: %w", err)
+	}
+	opt, err := optim.NewSGD(sc.Opt)
+	if err != nil {
+		return nil, fmt.Errorf("baselines: %w", err)
+	}
+	return &PlainTrainer{
+		id:      id,
+		sc:      sc,
+		ds:      ds,
+		net:     net,
+		opt:     opt,
+		hard:    loss.CrossEntropy{},
+		rng:     rand.New(rand.NewSource(sc.Seed*7907 + int64(id))),
+		precond: precond,
+	}, nil
+}
+
+// NumSamples returns the client's current local dataset size.
+func (p *PlainTrainer) NumSamples() int { return p.ds.Len() }
+
+// Forget drops the given rows from the local dataset and resets the
+// optimizer state (and the Fisher estimate), turning the next rounds into a
+// from-scratch retrain over the remaining data. Rows index the current
+// (post-previous-removals) dataset view.
+func (p *PlainTrainer) Forget(rows []int) error {
+	if len(rows) == 0 {
+		return fmt.Errorf("baselines: client %d: empty deletion request", p.id)
+	}
+	for _, r := range rows {
+		if r < 0 || r >= p.ds.Len() {
+			return fmt.Errorf("baselines: client %d: row %d out of range [0,%d)", p.id, r, p.ds.Len())
+		}
+	}
+	nd := p.ds.Remove(rows)
+	if nd.Len() == 0 {
+		return fmt.Errorf("baselines: client %d has no data after removal", p.id)
+	}
+	p.ds = nd
+	return p.Reset()
+}
+
+// Reset discards the optimizer's momentum and the running Fisher estimate —
+// state accumulated around the pre-deletion model that a from-scratch
+// retrain must not inherit.
+func (p *PlainTrainer) Reset() error {
+	opt, err := optim.NewSGD(p.sc.Opt)
+	if err != nil {
+		return fmt.Errorf("baselines: %w", err)
+	}
+	p.opt = opt
+	p.fim = nil
+	return nil
+}
+
+// TrainRound implements fed.LocalTrainer.
+func (p *PlainTrainer) TrainRound(ctx context.Context, round int, global []float64) (fed.ModelUpdate, error) {
 	if err := p.net.SetStateVector(global); err != nil {
 		return fed.ModelUpdate{}, fmt.Errorf("baselines: client %d: %w", p.id, err)
 	}
@@ -98,7 +174,7 @@ func (p *plainTrainer) TrainRound(ctx context.Context, round int, global []float
 	}
 	gl := loss.Goldfish{Hard: p.hard, ForgetScale: 1}
 	var last core.EpochResult
-	for e := 0; e < p.epochs; e++ {
+	for e := 0; e < p.sc.LocalEpochs; e++ {
 		if err := ctx.Err(); err != nil {
 			return fed.ModelUpdate{}, err
 		}
@@ -117,9 +193,9 @@ func (p *plainTrainer) TrainRound(ctx context.Context, round int, global []float
 	}, nil
 }
 
-func (p *plainTrainer) trainEpoch(ctx context.Context, idx []int, gl loss.Goldfish) (core.EpochResult, error) {
+func (p *PlainTrainer) trainEpoch(ctx context.Context, idx []int, gl loss.Goldfish) (core.EpochResult, error) {
 	if !p.precond {
-		return core.TrainEpoch(ctx, p.net, nil, p.ds, idx, nil, gl, p.opt, p.batch, p.rng)
+		return core.TrainEpoch(ctx, p.net, nil, p.ds, idx, nil, gl, p.opt, p.sc.BatchSize, p.rng)
 	}
 	// B2: same batches, but gradients are rescaled by the inverse root of
 	// the running diagonal Fisher estimate before each step — Liu et al.'s
@@ -129,7 +205,7 @@ func (p *plainTrainer) trainEpoch(ctx context.Context, idx []int, gl loss.Goldfi
 	if p.fim == nil {
 		p.fim = make([]float64, p.net.NumParams())
 	}
-	batches := data.BatchIndices(len(idx), p.batch, p.rng)
+	batches := data.BatchIndices(len(idx), p.sc.BatchSize, p.rng)
 	const (
 		decay = 0.9
 		eps   = 1e-4
@@ -198,6 +274,18 @@ func RapidRetrain(ctx context.Context, sc Scenario, parts []*data.Dataset,
 	return retrain(ctx, sc, parts, removed, rounds, true, onRound)
 }
 
+// ReinitVector builds the freshly initialized global model a from-scratch
+// retrain starts at.
+func ReinitVector(sc Scenario, seedBump int64) ([]float64, error) {
+	mcfg := sc.Model
+	mcfg.Seed = sc.Seed + 4242 + seedBump // fresh initialization: this is a retrain
+	initNet, err := model.Build(mcfg)
+	if err != nil {
+		return nil, fmt.Errorf("baselines: %w", err)
+	}
+	return initNet.StateVector(), nil
+}
+
 func retrain(ctx context.Context, sc Scenario, parts []*data.Dataset,
 	removed map[int][]int, rounds int, precond bool, onRound RoundHook) ([]float64, error) {
 	if err := sc.Validate(); err != nil {
@@ -209,66 +297,135 @@ func retrain(ctx context.Context, sc Scenario, parts []*data.Dataset,
 		if ds.Len() == 0 {
 			return nil, fmt.Errorf("baselines: client %d has no data after removal", i)
 		}
-		mcfg := sc.Model
-		mcfg.Seed = sc.Model.Seed + int64(i)*977 + 13
-		net, err := model.Build(mcfg)
+		t, err := NewPlainTrainer(i, sc, ds, precond)
 		if err != nil {
-			return nil, fmt.Errorf("baselines: %w", err)
+			return nil, err
 		}
-		opt, err := optim.NewSGD(sc.Opt)
-		if err != nil {
-			return nil, fmt.Errorf("baselines: %w", err)
-		}
-		trainers[i] = &plainTrainer{
-			id:      i,
-			ds:      ds,
-			net:     net,
-			opt:     opt,
-			hard:    loss.CrossEntropy{},
-			epochs:  sc.LocalEpochs,
-			batch:   sc.BatchSize,
-			rng:     rand.New(rand.NewSource(sc.Seed*7907 + int64(i))),
-			precond: precond,
-		}
+		trainers[i] = t
 	}
-	mcfg := sc.Model
-	mcfg.Seed = sc.Seed + 4242 // fresh initialization: this is a retrain
-	initNet, err := model.Build(mcfg)
+	initial, err := ReinitVector(sc, 0)
 	if err != nil {
-		return nil, fmt.Errorf("baselines: %w", err)
+		return nil, err
 	}
-	return runFederation(ctx, trainers, initNet.StateVector(), rounds, onRound)
+	return runFederation(ctx, trainers, initial, rounds, onRound)
 }
 
-// incompetentTrainer is the B3 client: distill from the competent teacher on
-// remaining data and from an incompetent (random) teacher on removed data.
-type incompetentTrainer struct {
+// IncompetentTrainer is the B3 client (Chundawat et al.): it distills from
+// the competent (pre-deletion) teacher on its remaining data and from an
+// incompetent random teacher on its removed data. Before any deletion it
+// trains normally on hard loss. It implements fed.LocalTrainer.
+type IncompetentTrainer struct {
 	id          int
+	sc          Scenario
+	temp        float64
 	dr          *data.Dataset
 	df          *data.Dataset
 	net         *nn.Network
 	competent   *nn.Network
 	incompetent *nn.Network
 	opt         *optim.SGD
-	temp        float64
-	epochs      int
-	batch       int
 	rng         *rand.Rand
 }
 
-func (t *incompetentTrainer) TrainRound(ctx context.Context, round int, global []float64) (fed.ModelUpdate, error) {
+var _ fed.LocalTrainer = (*IncompetentTrainer)(nil)
+
+// NewIncompetentTrainer builds a B3 client over its local dataset. The
+// teachers are created when Forget is called.
+func NewIncompetentTrainer(id int, sc Scenario, ds *data.Dataset, temp float64) (*IncompetentTrainer, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	if temp <= 0 {
+		return nil, fmt.Errorf("baselines: distillation temperature must be positive, got %g", temp)
+	}
+	if ds == nil || ds.Len() == 0 {
+		return nil, fmt.Errorf("baselines: client %d has no data", id)
+	}
+	mcfg := sc.Model
+	mcfg.Seed = sc.Model.Seed + int64(id)*881 + 3
+	student, err := model.Build(mcfg)
+	if err != nil {
+		return nil, fmt.Errorf("baselines: %w", err)
+	}
+	opt, err := optim.NewSGD(sc.Opt)
+	if err != nil {
+		return nil, fmt.Errorf("baselines: %w", err)
+	}
+	return &IncompetentTrainer{
+		id:   id,
+		sc:   sc,
+		temp: temp,
+		dr:   ds,
+		net:  student,
+		opt:  opt,
+		rng:  rand.New(rand.NewSource(sc.Seed*3181 + int64(id))),
+	}, nil
+}
+
+// NumSamples returns the client's remaining local dataset size.
+func (t *IncompetentTrainer) NumSamples() int { return t.dr.Len() }
+
+// Forget turns this client into the unlearning party: rows are split out as
+// the forget set Df, the contaminated global model becomes the competent
+// teacher, and a freshly initialized network of the same architecture the
+// incompetent one.
+func (t *IncompetentTrainer) Forget(rows []int, contaminated []float64) error {
+	if len(rows) == 0 {
+		return fmt.Errorf("baselines: client %d: empty deletion request", t.id)
+	}
+	if len(contaminated) == 0 {
+		return fmt.Errorf("baselines: B3 needs the contaminated global model")
+	}
+	for _, r := range rows {
+		if r < 0 || r >= t.dr.Len() {
+			return fmt.Errorf("baselines: client %d: row %d out of range [0,%d)", t.id, r, t.dr.Len())
+		}
+	}
+	df := t.dr.Subset(rows)
+	dr := t.dr.Remove(rows)
+	if dr.Len() == 0 {
+		return fmt.Errorf("baselines: client %d has no data after removal", t.id)
+	}
+	mcfg := t.sc.Model
+	mcfg.Seed = t.sc.Model.Seed + int64(t.id)*881 + 3
+	competent, err := model.Build(mcfg)
+	if err != nil {
+		return fmt.Errorf("baselines: %w", err)
+	}
+	if err := competent.SetStateVector(contaminated); err != nil {
+		return fmt.Errorf("baselines: loading competent teacher: %w", err)
+	}
+	mcfg.Seed = t.sc.Seed + int64(t.id)*6151 + 99 // random incompetent teacher
+	incompetent, err := model.Build(mcfg)
+	if err != nil {
+		return fmt.Errorf("baselines: %w", err)
+	}
+	if t.df != nil {
+		merged, err := t.df.Concat(df)
+		if err != nil {
+			return fmt.Errorf("baselines: client %d: merging deletion requests: %w", t.id, err)
+		}
+		df = merged
+	}
+	t.dr, t.df = dr, df
+	t.competent, t.incompetent = competent, incompetent
+	return nil
+}
+
+// TrainRound implements fed.LocalTrainer.
+func (t *IncompetentTrainer) TrainRound(ctx context.Context, round int, global []float64) (fed.ModelUpdate, error) {
 	if err := t.net.SetStateVector(global); err != nil {
 		return fed.ModelUpdate{}, fmt.Errorf("baselines: client %d: %w", t.id, err)
 	}
 	params := t.net.Params()
-	unlearning := t.df != nil && t.df.Len() > 0
+	unlearning := t.df != nil && t.df.Len() > 0 && t.competent != nil
 	var lastLoss float64
-	for e := 0; e < t.epochs; e++ {
+	for e := 0; e < t.sc.LocalEpochs; e++ {
 		if err := ctx.Err(); err != nil {
 			return fed.ModelUpdate{}, err
 		}
 		lastLoss = 0
-		batches := data.BatchIndices(t.dr.Len(), t.batch, t.rng)
+		batches := data.BatchIndices(t.dr.Len(), t.sc.BatchSize, t.rng)
 		for _, b := range batches {
 			x := sliceX(t.dr, b)
 			logits := t.net.Forward(x, true)
@@ -293,14 +450,14 @@ func (t *incompetentTrainer) TrainRound(ctx context.Context, round int, global [
 		if len(batches) > 0 {
 			lastLoss /= float64(len(batches))
 		}
-		if t.df != nil && t.df.Len() > 0 {
+		if unlearning {
 			// |Df| ≪ |Dr|, and in a federation only this client pushes
 			// against the backdoor while every client's retain distillation
 			// pulls towards the contaminated teacher. Repeat the forget
 			// passes and distill sharply (T=1) so bad teaching wins.
 			const forgetPasses = 3
 			for pass := 0; pass < forgetPasses; pass++ {
-				for _, b := range data.BatchIndices(t.df.Len(), t.batch, t.rng) {
+				for _, b := range data.BatchIndices(t.df.Len(), t.sc.BatchSize, t.rng) {
 					x := sliceX(t.df, b)
 					logits := t.net.Forward(x, true)
 					badLogits := t.incompetent.Forward(x, false)
@@ -338,50 +495,16 @@ func IncompetentTeacher(ctx context.Context, sc Scenario, parts []*data.Dataset,
 	}
 	trainers := make([]fed.LocalTrainer, len(parts))
 	for i, p := range parts {
-		mcfg := sc.Model
-		mcfg.Seed = sc.Model.Seed + int64(i)*881 + 3
-		student, err := model.Build(mcfg)
+		t, err := NewIncompetentTrainer(i, sc, p, temp)
 		if err != nil {
-			return nil, fmt.Errorf("baselines: %w", err)
+			return nil, err
 		}
-		competent, err := model.Build(mcfg)
-		if err != nil {
-			return nil, fmt.Errorf("baselines: %w", err)
-		}
-		if err := competent.SetStateVector(contaminated); err != nil {
-			return nil, fmt.Errorf("baselines: loading competent teacher: %w", err)
-		}
-		mcfg.Seed = sc.Seed + int64(i)*6151 + 99 // random incompetent teacher
-		incompetent, err := model.Build(mcfg)
-		if err != nil {
-			return nil, fmt.Errorf("baselines: %w", err)
-		}
-		opt, err := optim.NewSGD(sc.Opt)
-		if err != nil {
-			return nil, fmt.Errorf("baselines: %w", err)
-		}
-		dr := p
-		var df *data.Dataset
 		if rows := removed[i]; len(rows) > 0 {
-			df = p.Subset(rows)
-			dr = p.Remove(rows)
+			if err := t.Forget(rows, contaminated); err != nil {
+				return nil, err
+			}
 		}
-		if dr.Len() == 0 {
-			return nil, fmt.Errorf("baselines: client %d has no data after removal", i)
-		}
-		trainers[i] = &incompetentTrainer{
-			id:          i,
-			dr:          dr,
-			df:          df,
-			net:         student,
-			competent:   competent,
-			incompetent: incompetent,
-			opt:         opt,
-			temp:        temp,
-			epochs:      sc.LocalEpochs,
-			batch:       sc.BatchSize,
-			rng:         rand.New(rand.NewSource(sc.Seed*3181 + int64(i))),
-		}
+		trainers[i] = t
 	}
 	// B3 starts from the contaminated model rather than from scratch.
 	return runFederation(ctx, trainers, contaminated, rounds, onRound)

@@ -8,6 +8,7 @@ import (
 	"goldfish/internal/data"
 	"goldfish/internal/loss"
 	"goldfish/internal/model"
+	"goldfish/internal/unlearn"
 )
 
 // lossVariant is one column of Table X / Table XI.
@@ -59,7 +60,7 @@ func runLossVariants(opts Options, variants []lossVariant, title string) (*Repor
 
 		cfg := s.clientConfig()
 		v.modify(&cfg)
-		f, err := core.NewFederation(core.FederationConfig{Client: cfg}, parts)
+		f, err := unlearn.NewFederation(unlearn.Config{Client: cfg}, parts)
 		if err != nil {
 			return nil, err
 		}
@@ -73,7 +74,7 @@ func runLossVariants(opts Options, variants []lossVariant, title string) (*Repor
 		cells := make([]cell, 0, len(checkpoints))
 		var roundErr error
 		round := 0
-		if err := f.Run(ctx, s.rounds, func(rs core.RoundStats) {
+		if err := f.Run(ctx, s.rounds, func(rs unlearn.RoundStats) {
 			round++
 			for _, cp := range checkpoints {
 				if cp == round {
@@ -168,12 +169,12 @@ func RunAblateEarly(opts Options) (*Report, error) {
 		cfg := s.clientConfig()
 		cfg.LocalEpochs = 4
 		cfg.EarlyDelta = delta
-		f, err := core.NewFederation(core.FederationConfig{Client: cfg}, parts)
+		f, err := unlearn.NewFederation(unlearn.Config{Client: cfg}, parts)
 		if err != nil {
 			return nil, err
 		}
 		totalEpochs := 0
-		if err := f.Run(ctx, s.rounds, func(core.RoundStats) {
+		if err := f.Run(ctx, s.rounds, func(unlearn.RoundStats) {
 			for i := 0; i < f.NumClients(); i++ {
 				totalEpochs += f.Client(i).LastEpochs()
 			}
@@ -222,7 +223,7 @@ func RunAblateTemp(opts Options) (*Report, error) {
 		}
 		cfg := s.clientConfig()
 		cfg.AdaptiveTemp = adaptive
-		f, err := core.NewFederation(core.FederationConfig{Client: cfg}, parts)
+		f, err := unlearn.NewFederation(unlearn.Config{Client: cfg}, parts)
 		if err != nil {
 			return nil, err
 		}

@@ -12,6 +12,7 @@ import (
 	"goldfish/internal/metrics"
 	"goldfish/internal/model"
 	"goldfish/internal/optim"
+	"goldfish/internal/unlearn"
 )
 
 // clientCounts is the paper's client-count sweep (§IV-A: C ∈ {5, 15, 25}).
@@ -24,11 +25,11 @@ const heteroSkew = 0.2
 // partitions, recording global accuracy per round, and (when probe is not
 // nil) min/max local-model accuracy for the error bars of Fig. 8.
 func runAggregation(s *setup, parts []*data.Dataset, agg fed.Aggregator, probe *data.Dataset) (global Series, minLocal, maxLocal Series, err error) {
-	cfg := core.FederationConfig{Client: s.clientConfig(), Aggregator: agg}
+	cfg := unlearn.Config{Client: s.clientConfig(), Aggregator: agg}
 	if _, ok := agg.(fed.AdaptiveWeight); ok {
 		cfg.ServerTest = s.test
 	}
-	f, err := core.NewFederation(cfg, parts)
+	f, err := unlearn.NewFederation(cfg, parts)
 	if err != nil {
 		return global, minLocal, maxLocal, err
 	}
@@ -36,7 +37,7 @@ func runAggregation(s *setup, parts []*data.Dataset, agg fed.Aggregator, probe *
 	minLocal = Series{Name: agg.Name() + " min-local"}
 	maxLocal = Series{Name: agg.Name() + " max-local"}
 	var cbErr error
-	err = f.Run(context.Background(), s.rounds, func(rs core.RoundStats) {
+	err = f.Run(context.Background(), s.rounds, func(rs unlearn.RoundStats) {
 		acc, aerr := s.accuracy(rs.Global)
 		if aerr != nil {
 			cbErr = aerr

@@ -5,11 +5,11 @@ import (
 	"fmt"
 
 	"goldfish/internal/baselines"
-	"goldfish/internal/core"
 	"goldfish/internal/data"
 	"goldfish/internal/metrics"
 	"goldfish/internal/model"
 	"goldfish/internal/optim"
+	"goldfish/internal/unlearn"
 )
 
 // scenario converts a setup into the baseline Scenario.
@@ -57,7 +57,7 @@ func (s *setup) runBackdoorPoint(ctx context.Context, rate int) (*sweepPoint, er
 
 	// Origin + Ours share one federation: train on poisoned data, snapshot,
 	// then submit the deletion request and keep running (Algorithm 1).
-	f, err := core.NewFederation(core.FederationConfig{Client: s.clientConfig()}, parts)
+	f, err := unlearn.NewFederation(unlearn.Config{Client: s.clientConfig()}, parts)
 	if err != nil {
 		return nil, err
 	}

@@ -5,7 +5,7 @@ import (
 	"fmt"
 
 	"goldfish/internal/baselines"
-	"goldfish/internal/core"
+	"goldfish/internal/unlearn"
 )
 
 // RunFig4 regenerates Fig. 4: test-accuracy curves while retraining after a
@@ -83,7 +83,7 @@ func runFig4Combo(c comboSpec, opts Options) (*Figure, error) {
 	removed := map[int][]int{0: rows}
 
 	// Train the pre-deletion global model; it becomes Goldfish's teacher.
-	f, err := core.NewFederation(core.FederationConfig{Client: s.clientConfig()}, parts)
+	f, err := unlearn.NewFederation(unlearn.Config{Client: s.clientConfig()}, parts)
 	if err != nil {
 		return nil, err
 	}
@@ -102,7 +102,7 @@ func runFig4Combo(c comboSpec, opts Options) (*Figure, error) {
 		return nil, err
 	}
 	ours := Series{Name: "ours"}
-	err = f.Run(ctx, s.rounds, func(rs core.RoundStats) {
+	err = f.Run(ctx, s.rounds, func(rs unlearn.RoundStats) {
 		acc, aerr := s.accuracy(rs.Global)
 		if aerr != nil {
 			err = aerr

@@ -4,9 +4,9 @@ import (
 	"context"
 	"fmt"
 
-	"goldfish/internal/core"
 	"goldfish/internal/data"
 	"goldfish/internal/model"
+	"goldfish/internal/unlearn"
 )
 
 // shardCounts returns the τ sweep of Fig. 6 at the given scale. The paper
@@ -39,13 +39,13 @@ func RunFig6(opts Options) (*Report, error) {
 	for _, tau := range shardCounts(opts.Scale) {
 		cfg := s.clientConfig()
 		cfg.Shards = tau
-		f, err := core.NewFederation(core.FederationConfig{Client: cfg}, []*data.Dataset{s.train})
+		f, err := unlearn.NewFederation(unlearn.Config{Client: cfg}, []*data.Dataset{s.train})
 		if err != nil {
 			return nil, err
 		}
 		series := Series{Name: fmt.Sprintf("shards=%d", tau)}
 		var accErr error
-		if err := f.Run(ctx, s.rounds, func(rs core.RoundStats) {
+		if err := f.Run(ctx, s.rounds, func(rs unlearn.RoundStats) {
 			acc, aerr := s.accuracy(rs.Global)
 			if aerr != nil {
 				accErr = aerr
@@ -88,12 +88,12 @@ func RunFig7(opts Options) (*Report, error) {
 			cfg := s.clientConfig()
 			cfg.Shards = tau
 			train := s.train.Clone()
-			f, err := core.NewFederation(core.FederationConfig{Client: cfg}, []*data.Dataset{train})
+			f, err := unlearn.NewFederation(unlearn.Config{Client: cfg}, []*data.Dataset{train})
 			if err != nil {
 				return nil, err
 			}
 			series := Series{Name: fmt.Sprintf("shards=%d", tau)}
-			record := func(rs core.RoundStats) {
+			record := func(rs unlearn.RoundStats) {
 				acc, aerr := s.accuracy(rs.Global)
 				if aerr != nil {
 					err = aerr

@@ -8,10 +8,21 @@ import (
 
 	"goldfish/internal/data"
 	"goldfish/internal/fed"
+	"goldfish/internal/model"
 	"goldfish/internal/nn"
 	"goldfish/internal/optim"
 	"goldfish/internal/shard"
 )
+
+// buildModel constructs a network from a model configuration, wrapping
+// errors with package context.
+func buildModel(cfg model.Config) (*nn.Network, error) {
+	net, err := model.Build(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("core: building model: %w", err)
+	}
+	return net, nil
+}
 
 // Client is one federation participant: it owns local data, the local
 // model (or per-shard models when sharding is enabled), and the unlearning

@@ -11,10 +11,11 @@
 //   - extension: adaptive distillation temperature (Eq. 11) and
 //     adaptive-weight aggregation (Eqs. 12–13, internal/fed).
 //
-// A Federation owns the server side (round loop, aggregation, deletion
-// broadcasts); each Client owns one participant's local data, models and
-// unlearning state. Client implements fed.LocalTrainer, so clients also run
-// unchanged over the TCP transport.
+// Each Client owns one participant's local data, models and unlearning
+// state. Client implements fed.LocalTrainer, so clients run unchanged over
+// the in-process transport, the TCP transport, and the strategy-driven
+// Federation of internal/unlearn (which owns the server side: round loop,
+// aggregation, deletion broadcasts).
 package core
 
 import (

@@ -140,138 +140,6 @@ func TestRequestDeletionValidation(t *testing.T) {
 	}
 }
 
-func TestFederationTrainsToUsefulAccuracy(t *testing.T) {
-	train, test := tinyMNIST(t)
-	rng := rand.New(rand.NewSource(1))
-	parts, err := data.PartitionIID(train, 4, rng)
-	if err != nil {
-		t.Fatal(err)
-	}
-	f, err := NewFederation(FederationConfig{Client: testConfig(10)}, parts)
-	if err != nil {
-		t.Fatal(err)
-	}
-	var rounds int
-	if err := f.Run(context.Background(), 10, func(rs RoundStats) { rounds++ }); err != nil {
-		t.Fatal(err)
-	}
-	if rounds != 10 || f.Round() != 10 {
-		t.Errorf("rounds = %d / Round() = %d, want 10", rounds, f.Round())
-	}
-	acc, err := f.TestAccuracy(test)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if acc < 0.4 {
-		t.Errorf("federated accuracy %g too low after 10 rounds (chance = 0.1)", acc)
-	}
-}
-
-func TestUnlearningRemovesBackdoor(t *testing.T) {
-	train, test := tinyMNIST(t)
-	rng := rand.New(rand.NewSource(2))
-	parts, err := data.PartitionIID(train, 4, rng)
-	if err != nil {
-		t.Fatal(err)
-	}
-	// Poison 30% of client 0's data.
-	bd := data.DefaultBackdoor()
-	poisoned, err := bd.Poison(parts[0], 0.3, rng)
-	if err != nil {
-		t.Fatal(err)
-	}
-	triggered, err := bd.TriggerCopy(test)
-	if err != nil {
-		t.Fatal(err)
-	}
-
-	f, err := NewFederation(FederationConfig{Client: testConfig(10)}, parts)
-	if err != nil {
-		t.Fatal(err)
-	}
-	ctx := context.Background()
-	if err := f.Run(ctx, 10, nil); err != nil {
-		t.Fatal(err)
-	}
-	net, err := f.GlobalNet()
-	if err != nil {
-		t.Fatal(err)
-	}
-	asrBefore := metrics.AttackSuccessRate(net, triggered, bd.TargetLabel, 0)
-	if asrBefore < 0.4 {
-		t.Fatalf("backdoor did not take hold: ASR %g (need a contaminated origin model)", asrBefore)
-	}
-
-	// Unlearn the poisoned rows and keep training.
-	if err := f.RequestDeletion(0, poisoned); err != nil {
-		t.Fatal(err)
-	}
-	var sawUnlearningRound bool
-	if err := f.Run(ctx, 8, func(rs RoundStats) {
-		if rs.UnlearningRound {
-			sawUnlearningRound = true
-		}
-	}); err != nil {
-		t.Fatal(err)
-	}
-	if !sawUnlearningRound {
-		t.Error("deletion did not trigger an unlearning round")
-	}
-
-	net, err = f.GlobalNet()
-	if err != nil {
-		t.Fatal(err)
-	}
-	asrAfter := metrics.AttackSuccessRate(net, triggered, bd.TargetLabel, 0)
-	accAfter, err := f.TestAccuracy(test)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if asrAfter > asrBefore/2 {
-		t.Errorf("unlearning left ASR at %g (was %g)", asrAfter, asrBefore)
-	}
-	if accAfter < 0.35 {
-		t.Errorf("unlearning destroyed utility: accuracy %g", accAfter)
-	}
-}
-
-func TestEarlyTerminationCutsEpochs(t *testing.T) {
-	train, _ := tinyMNIST(t)
-	rng := rand.New(rand.NewSource(3))
-	parts, err := data.PartitionIID(train, 2, rng)
-	if err != nil {
-		t.Fatal(err)
-	}
-	cfg := testConfig(10)
-	cfg.LocalEpochs = 8
-	cfg.EarlyDelta = 1000 // absurdly lax: stop after the first epoch
-	f, err := NewFederation(FederationConfig{Client: cfg}, parts)
-	if err != nil {
-		t.Fatal(err)
-	}
-	// Round 0 has no previous global (no stopper); round 1 should stop
-	// after one epoch.
-	if err := f.Run(context.Background(), 2, nil); err != nil {
-		t.Fatal(err)
-	}
-	if got := f.Client(0).LastEpochs(); got != 1 {
-		t.Errorf("LastEpochs = %d, want 1 with lax delta", got)
-	}
-
-	// Tight delta: all epochs run.
-	cfg.EarlyDelta = 0
-	f2, err := NewFederation(FederationConfig{Client: cfg}, parts)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if err := f2.Run(context.Background(), 2, nil); err != nil {
-		t.Fatal(err)
-	}
-	if got := f2.Client(0).LastEpochs(); got != cfg.LocalEpochs {
-		t.Errorf("LastEpochs = %d, want %d with disabled early termination", got, cfg.LocalEpochs)
-	}
-}
-
 func TestShardedClientDeletion(t *testing.T) {
 	train, test := tinyMNIST(t)
 	cfg := testConfig(10)
@@ -331,79 +199,6 @@ func TestShardedClientDeletion(t *testing.T) {
 	}
 	if acc := metrics.Accuracy(initNet, test, 0); acc < 0.15 {
 		t.Errorf("sharded aggregate accuracy %g suspiciously low", acc)
-	}
-}
-
-func TestFederationAdaptiveWeights(t *testing.T) {
-	train, test := tinyMNIST(t)
-	rng := rand.New(rand.NewSource(4))
-	parts, err := data.PartitionHeterogeneous(train, 3, 0.2, rng)
-	if err != nil {
-		t.Fatal(err)
-	}
-	f, err := NewFederation(FederationConfig{
-		Client:     testConfig(10),
-		Aggregator: fed.AdaptiveWeight{},
-		ServerTest: test,
-	}, parts)
-	if err != nil {
-		t.Fatal(err)
-	}
-	var gotMSE bool
-	if err := f.Run(context.Background(), 3, func(rs RoundStats) {
-		for _, u := range rs.Updates {
-			if u.MSE > 0 {
-				gotMSE = true
-			}
-		}
-	}); err != nil {
-		t.Fatal(err)
-	}
-	if !gotMSE {
-		t.Error("adaptive aggregation ran without MSE scores")
-	}
-}
-
-func TestFederationValidation(t *testing.T) {
-	train, _ := tinyMNIST(t)
-	parts, err := data.PartitionIID(train, 2, rand.New(rand.NewSource(5)))
-	if err != nil {
-		t.Fatal(err)
-	}
-	if _, err := NewFederation(FederationConfig{Client: testConfig(10)}, nil); err == nil {
-		t.Error("no partitions accepted")
-	}
-	bad := testConfig(10)
-	bad.LocalEpochs = 0
-	if _, err := NewFederation(FederationConfig{Client: bad}, parts); err == nil {
-		t.Error("invalid client config accepted")
-	}
-	if _, err := NewFederation(FederationConfig{Client: testConfig(10), MinClients: 5}, parts); err == nil {
-		t.Error("MinClients above client count accepted")
-	}
-	f, err := NewFederation(FederationConfig{Client: testConfig(10)}, parts)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if err := f.RequestDeletion(7, []int{0}); err == nil {
-		t.Error("deletion for unknown client accepted")
-	}
-}
-
-func TestFederationCancellation(t *testing.T) {
-	train, _ := tinyMNIST(t)
-	parts, err := data.PartitionIID(train, 2, rand.New(rand.NewSource(6)))
-	if err != nil {
-		t.Fatal(err)
-	}
-	f, err := NewFederation(FederationConfig{Client: testConfig(10)}, parts)
-	if err != nil {
-		t.Fatal(err)
-	}
-	ctx, cancel := context.WithCancel(context.Background())
-	cancel()
-	if err := f.Run(ctx, 5, nil); err == nil {
-		t.Error("cancelled run should fail")
 	}
 }
 
@@ -467,87 +262,6 @@ func TestClientAsFedTrainer(t *testing.T) {
 	}
 	if _, err := coord.Run(context.Background()); err != nil {
 		t.Fatal(err)
-	}
-}
-
-func TestFederationAddClient(t *testing.T) {
-	train, test := tinyMNIST(t)
-	rng := rand.New(rand.NewSource(20))
-	parts, err := data.PartitionIID(train, 3, rng)
-	if err != nil {
-		t.Fatal(err)
-	}
-	f, err := NewFederation(FederationConfig{Client: testConfig(10)}, parts[:2])
-	if err != nil {
-		t.Fatal(err)
-	}
-	ctx := context.Background()
-	if err := f.Run(ctx, 2, nil); err != nil {
-		t.Fatal(err)
-	}
-	id, err := f.AddClient(parts[2])
-	if err != nil {
-		t.Fatal(err)
-	}
-	if id != 2 || f.NumClients() != 3 {
-		t.Fatalf("AddClient id=%d clients=%d, want 2/3", id, f.NumClients())
-	}
-	var updates int
-	if err := f.Run(ctx, 1, func(rs RoundStats) { updates = len(rs.Updates) }); err != nil {
-		t.Fatal(err)
-	}
-	if updates != 3 {
-		t.Errorf("round after join aggregated %d updates, want 3", updates)
-	}
-	if acc, err := f.TestAccuracy(test); err != nil || acc < 0.2 {
-		t.Errorf("accuracy %g, err %v", acc, err)
-	}
-}
-
-func TestFederationRemoveClient(t *testing.T) {
-	train, _ := tinyMNIST(t)
-	rng := rand.New(rand.NewSource(21))
-	parts, err := data.PartitionIID(train, 3, rng)
-	if err != nil {
-		t.Fatal(err)
-	}
-	f, err := NewFederation(FederationConfig{Client: testConfig(10)}, parts)
-	if err != nil {
-		t.Fatal(err)
-	}
-	ctx := context.Background()
-	if err := f.Run(ctx, 2, nil); err != nil {
-		t.Fatal(err)
-	}
-	if err := f.RemoveClient(5, false); err == nil {
-		t.Error("out-of-range removal accepted")
-	}
-	if err := f.RemoveClient(1, true); err != nil {
-		t.Fatal(err)
-	}
-	if f.NumClients() != 2 {
-		t.Fatalf("NumClients = %d, want 2", f.NumClients())
-	}
-	var sawUnlearn bool
-	var updates int
-	if err := f.Run(ctx, 1, func(rs RoundStats) {
-		sawUnlearn = rs.UnlearningRound
-		updates = len(rs.Updates)
-	}); err != nil {
-		t.Fatal(err)
-	}
-	if !sawUnlearn {
-		t.Error("unlearning removal should trigger a reinitialized round")
-	}
-	if updates != 2 {
-		t.Errorf("aggregated %d updates, want 2", updates)
-	}
-	// Removing down to the last client must fail.
-	if err := f.RemoveClient(0, false); err != nil {
-		t.Fatal(err)
-	}
-	if err := f.RemoveClient(0, false); err == nil {
-		t.Error("removing the last client accepted")
 	}
 }
 

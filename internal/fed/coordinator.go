@@ -3,8 +3,6 @@ package fed
 import (
 	"context"
 	"fmt"
-	"math/rand"
-	"sync"
 	"time"
 )
 
@@ -30,12 +28,11 @@ type ScorerFunc func(params []float64) (float64, error)
 // Score implements Scorer.
 func (f ScorerFunc) Score(params []float64) (float64, error) { return f(params) }
 
-// RoundInfo is passed to the coordinator's per-round callback.
+// RoundInfo is passed to the engine's per-round callback.
 type RoundInfo struct {
 	// Round is the completed round index.
 	Round int
-	// Global is the aggregated parameter vector after the round. Callbacks
-	// must copy it if they retain it.
+	// Global is a copy of the aggregated parameter vector after the round.
 	Global []float64
 	// Updates are the client updates that went into the aggregate.
 	Updates []ModelUpdate
@@ -55,8 +52,7 @@ type CoordinatorConfig struct {
 	// fewer aborts the run. Defaults to 1.
 	MinClients int
 	// ClientFraction, when in (0,1), trains only a random subset of
-	// clients each round (standard federated client sampling, McMahan et
-	// al.); 0 or 1 trains everyone. At least one client is always sampled.
+	// clients each round; 0 or 1 trains everyone.
 	ClientFraction float64
 	// RoundTimeout bounds one round of local training; stragglers whose
 	// context expires are dropped for the round like crashed clients.
@@ -68,16 +64,12 @@ type CoordinatorConfig struct {
 	OnRound func(RoundInfo)
 }
 
-// Coordinator runs a federation fully in-process: every round it fans the
-// global model out to all trainers in parallel, gathers their updates,
-// scores and aggregates them. Failed trainers are dropped for the round
-// (crash-stop model); the run aborts only when fewer than MinClients
-// updates arrive.
+// Coordinator runs a fixed number of rounds fully in-process. It is a thin
+// shim over the shared round Engine with a LocalTransport — the same code
+// path the unlearning Federation and the TCP server use.
 type Coordinator struct {
-	cfg      CoordinatorConfig
-	trainers []LocalTrainer
-	global   []float64
-	sampler  *rand.Rand
+	rounds int
+	engine *Engine
 }
 
 // NewCoordinator validates the configuration and initial parameters.
@@ -88,129 +80,32 @@ func NewCoordinator(cfg CoordinatorConfig, initial []float64, trainers []LocalTr
 	if len(trainers) == 0 {
 		return nil, fmt.Errorf("fed: need at least one trainer")
 	}
-	if len(initial) == 0 {
-		return nil, fmt.Errorf("fed: empty initial parameters")
-	}
-	if cfg.Aggregator == nil {
-		cfg.Aggregator = FedAvg{}
-	}
-	if cfg.MinClients <= 0 {
-		cfg.MinClients = 1
-	}
 	if cfg.MinClients > len(trainers) {
 		return nil, fmt.Errorf("fed: MinClients %d exceeds trainer count %d", cfg.MinClients, len(trainers))
 	}
-	if cfg.ClientFraction < 0 || cfg.ClientFraction > 1 {
-		return nil, fmt.Errorf("fed: ClientFraction %g out of [0,1]", cfg.ClientFraction)
+	engine, err := NewEngine(EngineConfig{
+		Aggregator:     cfg.Aggregator,
+		Scorer:         cfg.Scorer,
+		MinClients:     cfg.MinClients,
+		ClientFraction: cfg.ClientFraction,
+		RoundTimeout:   cfg.RoundTimeout,
+		SampleSeed:     cfg.SampleSeed,
+		OnRound:        cfg.OnRound,
+	}, initial, NewLocalTransport(trainers))
+	if err != nil {
+		return nil, err
 	}
-	return &Coordinator{
-		cfg:      cfg,
-		trainers: trainers,
-		global:   append([]float64(nil), initial...),
-		sampler:  rand.New(rand.NewSource(cfg.SampleSeed + 1)),
-	}, nil
-}
-
-// sampleRound returns the trainer indices participating in a round.
-func (c *Coordinator) sampleRound() []int {
-	n := len(c.trainers)
-	all := make([]int, n)
-	for i := range all {
-		all[i] = i
-	}
-	f := c.cfg.ClientFraction
-	if f == 0 || f == 1 {
-		return all
-	}
-	k := int(float64(n) * f)
-	if k < 1 {
-		k = 1
-	}
-	c.sampler.Shuffle(n, func(i, j int) { all[i], all[j] = all[j], all[i] })
-	picked := all[:k]
-	return picked
+	return &Coordinator{rounds: cfg.Rounds, engine: engine}, nil
 }
 
 // Global returns a copy of the current global parameters.
-func (c *Coordinator) Global() []float64 { return append([]float64(nil), c.global...) }
+func (c *Coordinator) Global() []float64 { return c.engine.Global() }
 
 // Run executes all configured rounds and returns the final global
 // parameters. It honours ctx cancellation between and during rounds.
 func (c *Coordinator) Run(ctx context.Context) ([]float64, error) {
-	for round := 0; round < c.cfg.Rounds; round++ {
-		if err := ctx.Err(); err != nil {
-			return nil, fmt.Errorf("fed: cancelled before round %d: %w", round, err)
-		}
-		if err := c.runRound(ctx, round); err != nil {
-			return nil, err
-		}
+	if err := c.engine.Run(ctx, c.rounds); err != nil {
+		return nil, err
 	}
-	return c.Global(), nil
-}
-
-func (c *Coordinator) runRound(ctx context.Context, round int) error {
-	type result struct {
-		idx    int
-		update ModelUpdate
-		err    error
-	}
-	participants := c.sampleRound()
-	roundCtx := ctx
-	if c.cfg.RoundTimeout > 0 {
-		var cancel context.CancelFunc
-		roundCtx, cancel = context.WithTimeout(ctx, c.cfg.RoundTimeout)
-		defer cancel()
-	}
-	results := make([]result, len(participants))
-	var wg sync.WaitGroup
-	for k, idx := range participants {
-		wg.Add(1)
-		go func(k, idx int) {
-			defer wg.Done()
-			// Each trainer receives its own copy of the global vector.
-			global := append([]float64(nil), c.global...)
-			u, err := c.trainers[idx].TrainRound(roundCtx, round, global)
-			results[k] = result{idx: idx, update: u, err: err}
-		}(k, idx)
-	}
-	wg.Wait()
-
-	updates := make([]ModelUpdate, 0, len(results))
-	var dropped []int
-	for _, r := range results {
-		if r.err != nil {
-			dropped = append(dropped, r.idx)
-			continue
-		}
-		updates = append(updates, r.update)
-	}
-	minOK := c.cfg.MinClients
-	if minOK > len(participants) {
-		minOK = len(participants)
-	}
-	if len(updates) < minOK {
-		return fmt.Errorf("fed: round %d: only %d/%d sampled clients succeeded (min %d)",
-			round, len(updates), len(participants), minOK)
-	}
-
-	if c.cfg.Scorer != nil {
-		for i := range updates {
-			mse, err := c.cfg.Scorer.Score(updates[i].Params)
-			if err != nil {
-				return fmt.Errorf("fed: round %d: scoring client %d: %w", round, updates[i].ClientID, err)
-			}
-			updates[i].MSE = mse
-		}
-	}
-
-	global, err := c.cfg.Aggregator.Aggregate(updates)
-	if err != nil {
-		return fmt.Errorf("fed: round %d: %w", round, err)
-	}
-	c.global = global
-
-	if c.cfg.OnRound != nil {
-		c.cfg.OnRound(RoundInfo{Round: round, Global: global, Updates: updates, Dropped: dropped})
-	}
-	return nil
+	return c.engine.Global(), nil
 }

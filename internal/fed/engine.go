@@ -1,0 +1,255 @@
+package fed
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// This file is the single federated round engine. One round — client
+// sampling, straggler timeout, update collection, scoring, aggregation,
+// round hook — is implemented exactly once here; the in-process Coordinator,
+// the unlearning Federation and the TCP Server all drive an Engine and only
+// differ in their Transport.
+
+// RoundResult is one participant's outcome for a round, as reported by a
+// Transport.
+type RoundResult struct {
+	// Index is the participant's transport index.
+	Index int
+	// Update is the participant's upload (valid when Err is nil).
+	Update ModelUpdate
+	// Err is the participant's failure for this round, if any.
+	Err error
+}
+
+// Transport dispatches one round of local training to participants. The
+// in-process LocalTransport fans out to goroutines; the TCP server's
+// transport speaks the wire protocol. Implementations must treat the global
+// slice as read-only.
+type Transport interface {
+	// NumClients returns the current number of participants.
+	NumClients() int
+	// ExecuteRound sends the global parameters to the listed participants
+	// and collects their updates, honouring ctx (and its deadline, when
+	// set) as the straggler bound. It returns one result per participant.
+	ExecuteRound(ctx context.Context, round int, participants []int, global []float64) []RoundResult
+}
+
+// EngineConfig configures the shared round engine.
+type EngineConfig struct {
+	// Aggregator combines updates; defaults to FedAvg.
+	Aggregator Aggregator
+	// Scorer, when set, fills each update's MSE before aggregation
+	// (the paper's Eq. 12 server-side quality probe).
+	Scorer Scorer
+	// MinClients is the minimum number of successful updates per round;
+	// fewer aborts the round. Defaults to 1 and is clamped per round to the
+	// number of sampled participants.
+	MinClients int
+	// ClientFraction, when in (0,1), trains only a random subset of
+	// clients each round (standard federated client sampling, McMahan et
+	// al.); 0 or 1 trains everyone. At least one client is always sampled.
+	ClientFraction float64
+	// RoundTimeout bounds one round of local training; stragglers whose
+	// context expires are dropped for the round like crashed clients.
+	// 0 disables the bound.
+	RoundTimeout time.Duration
+	// SampleSeed drives the client-sampling randomness.
+	SampleSeed int64
+	// OnRound, when set, is invoked after every aggregation. The RoundInfo
+	// carries a defensive copy of the global vector, so callbacks may
+	// retain or mutate it freely.
+	OnRound func(RoundInfo)
+}
+
+// Engine runs federation rounds over a Transport: every round it samples
+// participants, fans the global model out, gathers updates, drops failures
+// (crash-stop model), scores, aggregates and fires the round hook. The run
+// aborts only when fewer than MinClients updates arrive. The round counter
+// is monotonic across Run calls. An Engine is not safe for concurrent use.
+type Engine struct {
+	cfg     EngineConfig
+	trans   Transport
+	global  []float64
+	round   int
+	sampler *rand.Rand
+}
+
+// NewEngine validates the configuration and initial parameters.
+func NewEngine(cfg EngineConfig, initial []float64, trans Transport) (*Engine, error) {
+	if trans == nil {
+		return nil, fmt.Errorf("fed: nil transport")
+	}
+	if len(initial) == 0 {
+		return nil, fmt.Errorf("fed: empty initial parameters")
+	}
+	if cfg.Aggregator == nil {
+		cfg.Aggregator = FedAvg{}
+	}
+	if cfg.MinClients <= 0 {
+		cfg.MinClients = 1
+	}
+	if cfg.ClientFraction < 0 || cfg.ClientFraction > 1 {
+		return nil, fmt.Errorf("fed: ClientFraction %g out of [0,1]", cfg.ClientFraction)
+	}
+	return &Engine{
+		cfg:     cfg,
+		trans:   trans,
+		global:  append([]float64(nil), initial...),
+		sampler: rand.New(rand.NewSource(cfg.SampleSeed + 1)),
+	}, nil
+}
+
+// Global returns a copy of the current global parameters.
+func (e *Engine) Global() []float64 { return append([]float64(nil), e.global...) }
+
+// SetGlobal replaces the global parameters (the deletion lifecycle
+// reinitializes the model between rounds through this).
+func (e *Engine) SetGlobal(g []float64) { e.global = append([]float64(nil), g...) }
+
+// Round returns the number of completed rounds.
+func (e *Engine) Round() int { return e.round }
+
+// Run executes n rounds. It honours ctx cancellation between and during
+// rounds.
+func (e *Engine) Run(ctx context.Context, n int) error {
+	for i := 0; i < n; i++ {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("fed: cancelled before round %d: %w", e.round, err)
+		}
+		if err := e.RunRound(ctx); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// sample returns the participant indices for a round.
+func (e *Engine) sample() []int {
+	n := e.trans.NumClients()
+	all := make([]int, n)
+	for i := range all {
+		all[i] = i
+	}
+	f := e.cfg.ClientFraction
+	if f == 0 || f == 1 {
+		return all
+	}
+	k := int(float64(n) * f)
+	if k < 1 {
+		k = 1
+	}
+	e.sampler.Shuffle(n, func(i, j int) { all[i], all[j] = all[j], all[i] })
+	return all[:k]
+}
+
+// RunRound executes one federation round.
+func (e *Engine) RunRound(ctx context.Context) error {
+	participants := e.sample()
+	if len(participants) == 0 {
+		return fmt.Errorf("fed: round %d: no participants", e.round)
+	}
+	roundCtx := ctx
+	if e.cfg.RoundTimeout > 0 {
+		var cancel context.CancelFunc
+		roundCtx, cancel = context.WithTimeout(ctx, e.cfg.RoundTimeout)
+		defer cancel()
+	}
+
+	results := e.trans.ExecuteRound(roundCtx, e.round, participants, e.global)
+
+	updates := make([]ModelUpdate, 0, len(results))
+	var dropped []int
+	for _, r := range results {
+		if r.Err != nil {
+			dropped = append(dropped, r.Index)
+			continue
+		}
+		updates = append(updates, r.Update)
+	}
+	minOK := e.cfg.MinClients
+	if minOK > len(participants) {
+		minOK = len(participants)
+	}
+	if len(updates) < minOK {
+		return fmt.Errorf("fed: round %d: only %d/%d sampled clients succeeded (min %d)",
+			e.round, len(updates), len(participants), minOK)
+	}
+
+	if e.cfg.Scorer != nil {
+		for i := range updates {
+			mse, err := e.cfg.Scorer.Score(updates[i].Params)
+			if err != nil {
+				return fmt.Errorf("fed: round %d: scoring client %d: %w", e.round, updates[i].ClientID, err)
+			}
+			updates[i].MSE = mse
+		}
+	}
+
+	global, err := e.cfg.Aggregator.Aggregate(updates)
+	if err != nil {
+		return fmt.Errorf("fed: round %d: %w", e.round, err)
+	}
+	e.global = global
+	e.round++
+
+	if e.cfg.OnRound != nil {
+		e.cfg.OnRound(RoundInfo{
+			Round:   e.round - 1,
+			Global:  append([]float64(nil), global...),
+			Updates: updates,
+			Dropped: dropped,
+		})
+	}
+	return nil
+}
+
+// LocalTransport runs participants fully in-process: ExecuteRound fans out
+// one goroutine per sampled trainer. The trainer set may change between
+// rounds (dynamic membership) but not during one.
+type LocalTransport struct {
+	trainers []LocalTrainer
+}
+
+var _ Transport = (*LocalTransport)(nil)
+
+// NewLocalTransport wraps the given trainers.
+func NewLocalTransport(trainers []LocalTrainer) *LocalTransport {
+	return &LocalTransport{trainers: append([]LocalTrainer(nil), trainers...)}
+}
+
+// NumClients implements Transport.
+func (t *LocalTransport) NumClients() int { return len(t.trainers) }
+
+// Append adds a trainer (a client joining between rounds).
+func (t *LocalTransport) Append(tr LocalTrainer) { t.trainers = append(t.trainers, tr) }
+
+// Remove deletes trainer i (a client leaving between rounds).
+func (t *LocalTransport) Remove(i int) error {
+	if i < 0 || i >= len(t.trainers) {
+		return fmt.Errorf("fed: trainer %d out of range [0,%d)", i, len(t.trainers))
+	}
+	t.trainers = append(t.trainers[:i], t.trainers[i+1:]...)
+	return nil
+}
+
+// ExecuteRound implements Transport.
+func (t *LocalTransport) ExecuteRound(ctx context.Context, round int, participants []int, global []float64) []RoundResult {
+	results := make([]RoundResult, len(participants))
+	var wg sync.WaitGroup
+	for k, idx := range participants {
+		wg.Add(1)
+		go func(k, idx int) {
+			defer wg.Done()
+			// Each trainer receives its own copy of the global vector.
+			g := append([]float64(nil), global...)
+			u, err := t.trainers[idx].TrainRound(ctx, round, g)
+			results[k] = RoundResult{Index: idx, Update: u, Err: err}
+		}(k, idx)
+	}
+	wg.Wait()
+	return results
+}

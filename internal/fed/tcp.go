@@ -11,9 +11,10 @@ import (
 )
 
 // Wire protocol: each connection carries a stream of gob-encoded envelopes.
-// The server waits for NumClients joins, then runs synchronous rounds:
-// broadcast msgTrain, collect one msgUpdate per client, aggregate, repeat,
-// and finish with msgDone carrying the final global model.
+// The server waits for NumClients joins, then drives the shared round
+// Engine with a TCP transport: broadcast msgTrain, collect one msgUpdate
+// per client, aggregate, repeat, and finish with msgDone carrying the final
+// global model.
 
 type msgType uint8
 
@@ -47,11 +48,20 @@ type ServerConfig struct {
 	// NumClients is the exact number of clients to wait for. Must be
 	// positive.
 	NumClients int
+	// MinClients is the minimum number of successful updates per round;
+	// fewer aborts the run. Defaults to NumClients (a wire failure is
+	// fatal, matching the synchronous protocol).
+	MinClients int
+	// ClientFraction, when in (0,1), trains only a random subset of the
+	// connected clients each round; 0 or 1 trains everyone.
+	ClientFraction float64
 	// Initial is the initial global parameter vector.
 	Initial []float64
 	// RoundTimeout bounds one full round (broadcast + collect); 0 means
 	// one minute.
 	RoundTimeout time.Duration
+	// SampleSeed drives the client-sampling randomness.
+	SampleSeed int64
 	// OnRound, when set, is invoked after every aggregation.
 	OnRound func(RoundInfo)
 }
@@ -72,8 +82,11 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	if len(cfg.Initial) == 0 {
 		return nil, fmt.Errorf("fed: empty initial parameters")
 	}
-	if cfg.Aggregator == nil {
-		cfg.Aggregator = FedAvg{}
+	if cfg.MinClients <= 0 {
+		cfg.MinClients = cfg.NumClients
+	}
+	if cfg.MinClients > cfg.NumClients {
+		return nil, fmt.Errorf("fed: MinClients %d exceeds NumClients %d", cfg.MinClients, cfg.NumClients)
 	}
 	if cfg.RoundTimeout <= 0 {
 		cfg.RoundTimeout = time.Minute
@@ -89,9 +102,67 @@ type clientConn struct {
 	dec  *gob.Decoder
 }
 
-// Serve accepts NumClients connections on ln, runs all rounds, distributes
-// the final model, and returns it. The listener is closed on return and
-// when ctx is cancelled.
+// tcpTransport adapts the connected clients to the round Engine.
+type tcpTransport struct {
+	clients []*clientConn
+}
+
+var _ Transport = (*tcpTransport)(nil)
+
+// NumClients implements Transport.
+func (t *tcpTransport) NumClients() int { return len(t.clients) }
+
+// ExecuteRound implements Transport: broadcast the global model to the
+// sampled clients, then collect one update from each before the round
+// deadline.
+func (t *tcpTransport) ExecuteRound(ctx context.Context, round int, participants []int, global []float64) []RoundResult {
+	deadline, ok := ctx.Deadline()
+	if !ok {
+		deadline = time.Now().Add(time.Minute)
+	}
+	results := make([]RoundResult, len(participants))
+	var wg sync.WaitGroup
+	for k, idx := range participants {
+		c := t.clients[idx]
+		results[k].Index = idx
+		if err := c.enc.Encode(envelope{Type: msgTrain, Round: round, Params: global}); err != nil {
+			results[k].Err = fmt.Errorf("fed: round %d: sending model to client %d: %w", round, c.id, err)
+			continue
+		}
+		wg.Add(1)
+		go func(k int, c *clientConn) {
+			defer wg.Done()
+			_ = c.conn.SetReadDeadline(deadline)
+			for {
+				var env envelope
+				if err := c.dec.Decode(&env); err != nil {
+					results[k].Err = fmt.Errorf("fed: round %d: reading update from client %d: %w", round, c.id, err)
+					return
+				}
+				if env.Type != msgUpdate {
+					results[k].Err = fmt.Errorf("fed: round %d: client %d sent %d, want update", round, c.id, env.Type)
+					return
+				}
+				if env.Update.Round != round {
+					// A straggler that was dropped in an earlier round
+					// delivered its stale update late; discard it and keep
+					// reading so the stream re-synchronizes.
+					continue
+				}
+				u := env.Update
+				u.ClientID = c.id
+				results[k].Update = u
+				return
+			}
+		}(k, c)
+	}
+	wg.Wait()
+	return results
+}
+
+// Serve accepts NumClients connections on ln, runs all rounds through the
+// shared round engine, distributes the final model, and returns it. The
+// listener is closed on return and when ctx is cancelled.
 func (s *Server) Serve(ctx context.Context, ln net.Listener) (final []float64, err error) {
 	defer func() {
 		if cerr := ln.Close(); cerr != nil && err == nil && !errors.Is(cerr, net.ErrClosed) {
@@ -138,19 +209,24 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) (final []float64, e
 		clients = append(clients, c)
 	}
 
-	global := append([]float64(nil), s.cfg.Initial...)
-	for round := 0; round < s.cfg.Rounds; round++ {
-		if ctx.Err() != nil {
-			s.broadcastError(clients, "server cancelled")
-			return nil, fmt.Errorf("fed: cancelled before round %d: %w", round, ctx.Err())
-		}
-		global, err = s.runRound(clients, round, global)
-		if err != nil {
-			s.broadcastError(clients, err.Error())
-			return nil, err
-		}
+	engine, err := NewEngine(EngineConfig{
+		Aggregator:     s.cfg.Aggregator,
+		Scorer:         s.cfg.Scorer,
+		MinClients:     s.cfg.MinClients,
+		ClientFraction: s.cfg.ClientFraction,
+		RoundTimeout:   s.cfg.RoundTimeout,
+		SampleSeed:     s.cfg.SampleSeed,
+		OnRound:        s.cfg.OnRound,
+	}, s.cfg.Initial, &tcpTransport{clients: clients})
+	if err != nil {
+		return nil, err
+	}
+	if err := engine.Run(ctx, s.cfg.Rounds); err != nil {
+		s.broadcastError(clients, err.Error())
+		return nil, err
 	}
 
+	global := engine.Global()
 	for _, c := range clients {
 		if werr := c.enc.Encode(envelope{Type: msgDone, Params: global}); werr != nil {
 			return nil, fmt.Errorf("fed: sending final model to client %d: %w", c.id, werr)
@@ -163,63 +239,6 @@ func (s *Server) broadcastError(clients []*clientConn, msg string) {
 	for _, c := range clients {
 		_ = c.enc.Encode(envelope{Type: msgError, Error: msg})
 	}
-}
-
-func (s *Server) runRound(clients []*clientConn, round int, global []float64) ([]float64, error) {
-	deadline := time.Now().Add(s.cfg.RoundTimeout)
-	for _, c := range clients {
-		if err := c.enc.Encode(envelope{Type: msgTrain, Round: round, Params: global}); err != nil {
-			return nil, fmt.Errorf("fed: round %d: sending model to client %d: %w", round, c.id, err)
-		}
-	}
-
-	updates := make([]ModelUpdate, len(clients))
-	errs := make([]error, len(clients))
-	var wg sync.WaitGroup
-	for i, c := range clients {
-		wg.Add(1)
-		go func(i int, c *clientConn) {
-			defer wg.Done()
-			_ = c.conn.SetReadDeadline(deadline)
-			var env envelope
-			if err := c.dec.Decode(&env); err != nil {
-				errs[i] = fmt.Errorf("fed: round %d: reading update from client %d: %w", round, c.id, err)
-				return
-			}
-			if env.Type != msgUpdate {
-				errs[i] = fmt.Errorf("fed: round %d: client %d sent %d, want update", round, c.id, env.Type)
-				return
-			}
-			u := env.Update
-			u.ClientID = c.id
-			u.Round = round
-			updates[i] = u
-		}(i, c)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
-
-	if s.cfg.Scorer != nil {
-		for i := range updates {
-			mse, err := s.cfg.Scorer.Score(updates[i].Params)
-			if err != nil {
-				return nil, fmt.Errorf("fed: round %d: scoring client %d: %w", round, updates[i].ClientID, err)
-			}
-			updates[i].MSE = mse
-		}
-	}
-	next, err := s.cfg.Aggregator.Aggregate(updates)
-	if err != nil {
-		return nil, fmt.Errorf("fed: round %d: %w", round, err)
-	}
-	if s.cfg.OnRound != nil {
-		s.cfg.OnRound(RoundInfo{Round: round, Global: next, Updates: updates})
-	}
-	return next, nil
 }
 
 // RunClient connects to a federation server at addr, participates in every

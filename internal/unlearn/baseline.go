@@ -1,0 +1,122 @@
+package unlearn
+
+import (
+	"fmt"
+
+	"goldfish/internal/baselines"
+	"goldfish/internal/core"
+	"goldfish/internal/fed"
+)
+
+// scenario projects the shared client configuration onto the baselines'
+// setup (the baselines train on plain hard loss, so the composite-loss
+// fields are dropped).
+func scenario(c core.Config) baselines.Scenario {
+	return baselines.Scenario{
+		Model:       c.Model,
+		Opt:         c.Opt,
+		LocalEpochs: c.LocalEpochs,
+		BatchSize:   c.BatchSize,
+		Seed:        c.Seed,
+	}
+}
+
+// retrainStrategy implements B1 ("retrain") and B2 ("fisher"): a deletion
+// drops the rows from the owning client and restarts federated training
+// from a freshly initialized global model over the remaining data. With
+// precond set, local updates are preconditioned by a running diagonal
+// Fisher-information estimate (Liu et al.), which speeds the recovery.
+type retrainStrategy struct {
+	name     string
+	precond  bool
+	sc       baselines.Scenario
+	trainers []*baselines.PlainTrainer
+	reinits  int64
+}
+
+var _ Strategy = (*retrainStrategy)(nil)
+
+// Name implements Strategy.
+func (r *retrainStrategy) Name() string { return r.name }
+
+// Setup implements Strategy.
+func (r *retrainStrategy) Setup(env Env) ([]fed.LocalTrainer, error) {
+	r.sc = scenario(env.Client)
+	r.trainers = make([]*baselines.PlainTrainer, len(env.Parts))
+	trainers := make([]fed.LocalTrainer, len(env.Parts))
+	for i, p := range env.Parts {
+		t, err := baselines.NewPlainTrainer(i, r.sc, p, r.precond)
+		if err != nil {
+			return nil, err
+		}
+		r.trainers[i] = t
+		trainers[i] = t
+	}
+	return trainers, nil
+}
+
+// Forget implements Strategy: drop the rows, reset every client's
+// optimizer and Fisher state, and reinitialize the global model — the
+// reference unlearning procedure retrains from scratch without the removed
+// data, so no state accumulated around the contaminated model may survive.
+func (r *retrainStrategy) Forget(clientID int, rows []int, _ []float64) ([]float64, error) {
+	if clientID < 0 || clientID >= len(r.trainers) {
+		return nil, fmt.Errorf("unlearn: client %d out of range [0,%d)", clientID, len(r.trainers))
+	}
+	if err := r.trainers[clientID].Forget(rows); err != nil {
+		return nil, err
+	}
+	for i, t := range r.trainers {
+		if i == clientID {
+			continue // already reset by Forget
+		}
+		if err := t.Reset(); err != nil {
+			return nil, err
+		}
+	}
+	r.reinits++
+	return baselines.ReinitVector(r.sc, r.reinits*7919)
+}
+
+// teacherStrategy implements B3 ("incompetent-teacher", Chundawat et al.):
+// a deletion keeps the contaminated global model as the competent teacher;
+// the deleting client distills from it on remaining data and from a random
+// incompetent teacher on the removed data, while everyone else keeps
+// training normally.
+type teacherStrategy struct {
+	trainers []*baselines.IncompetentTrainer
+}
+
+var _ Strategy = (*teacherStrategy)(nil)
+
+// Name implements Strategy.
+func (t *teacherStrategy) Name() string { return "incompetent-teacher" }
+
+// Setup implements Strategy. The distillation temperature is taken from the
+// client configuration's loss (paper default T=3).
+func (t *teacherStrategy) Setup(env Env) ([]fed.LocalTrainer, error) {
+	sc := scenario(env.Client)
+	t.trainers = make([]*baselines.IncompetentTrainer, len(env.Parts))
+	trainers := make([]fed.LocalTrainer, len(env.Parts))
+	for i, p := range env.Parts {
+		tr, err := baselines.NewIncompetentTrainer(i, sc, p, env.Client.Loss.Temp)
+		if err != nil {
+			return nil, err
+		}
+		t.trainers[i] = tr
+		trainers[i] = tr
+	}
+	return trainers, nil
+}
+
+// Forget implements Strategy: the current (contaminated) global model stays
+// in place and becomes the deleting client's competent teacher.
+func (t *teacherStrategy) Forget(clientID int, rows []int, global []float64) ([]float64, error) {
+	if clientID < 0 || clientID >= len(t.trainers) {
+		return nil, fmt.Errorf("unlearn: client %d out of range [0,%d)", clientID, len(t.trainers))
+	}
+	if err := t.trainers[clientID].Forget(rows, global); err != nil {
+		return nil, err
+	}
+	return nil, nil
+}

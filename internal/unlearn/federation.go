@@ -1,0 +1,278 @@
+package unlearn
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"goldfish/internal/core"
+	"goldfish/internal/data"
+	"goldfish/internal/fed"
+	"goldfish/internal/metrics"
+	"goldfish/internal/model"
+	"goldfish/internal/nn"
+)
+
+// Config configures a Federation: the shared client setup, the unlearning
+// strategy, and the round-engine knobs.
+type Config struct {
+	// Client is the configuration shared by all clients.
+	Client core.Config
+	// Unlearner is the unlearning strategy; nil selects the paper's
+	// Goldfish procedure.
+	Unlearner Strategy
+	// Aggregator combines uploads; nil selects FedAvg. Use
+	// fed.AdaptiveWeight together with ServerTest for the paper's
+	// extension-module aggregation.
+	Aggregator fed.Aggregator
+	// ServerTest, when set, is the central test set used to score uploaded
+	// models (MSE of Eq. 12) before adaptive-weight aggregation.
+	ServerTest *data.Dataset
+	// MinClients is the minimum number of successful client updates per
+	// round; fewer aborts the round. Defaults to 1.
+	MinClients int
+	// ClientFraction, when in (0,1), trains only a random subset of
+	// clients each round; 0 or 1 trains everyone.
+	ClientFraction float64
+	// RoundTimeout bounds one round of local training; stragglers are
+	// dropped for the round. 0 disables the bound.
+	RoundTimeout time.Duration
+	// SampleSeed drives the client-sampling randomness.
+	SampleSeed int64
+	// Transport, when set, replaces the default in-process transport over
+	// the strategy's trainers (advanced: e.g. a custom distribution
+	// layer). Dynamic membership requires the default transport.
+	Transport fed.Transport
+}
+
+// RoundStats summarizes one completed federation round for callbacks.
+type RoundStats struct {
+	// Round is the completed round index (monotonic across Run calls).
+	Round int
+	// Global is a copy of the aggregated state vector; callbacks may
+	// retain or mutate it freely.
+	Global []float64
+	// Updates are the client uploads aggregated this round.
+	Updates []fed.ModelUpdate
+	// Dropped lists client IDs whose local training failed this round.
+	Dropped []int
+	// UnlearningRound is true when this round processed deletion requests.
+	UnlearningRound bool
+}
+
+// Federation orchestrates a federated-unlearning run: one pluggable
+// Strategy over the shared round engine, plus the deletion lifecycle and
+// dynamic membership. It is not safe for concurrent use; drive it from one
+// goroutine.
+type Federation struct {
+	cfg            Config
+	strategy       Strategy
+	local          *fed.LocalTransport // nil when cfg.Transport is custom
+	engine         *fed.Engine
+	evalNet        *nn.Network
+	onRound        func(RoundStats)
+	pendingUnlearn bool
+}
+
+// buildModel constructs a network, wrapping errors with package context.
+func buildModel(cfg model.Config) (*nn.Network, error) {
+	net, err := model.Build(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("unlearn: building model: %w", err)
+	}
+	return net, nil
+}
+
+// NewFederation creates a federation with one participant per dataset
+// partition, running the configured unlearning strategy.
+func NewFederation(cfg Config, parts []*data.Dataset) (*Federation, error) {
+	if err := cfg.Client.Validate(); err != nil {
+		return nil, err
+	}
+	if len(parts) == 0 {
+		return nil, fmt.Errorf("unlearn: no client partitions")
+	}
+	if cfg.MinClients > len(parts) {
+		return nil, fmt.Errorf("unlearn: MinClients %d exceeds client count %d", cfg.MinClients, len(parts))
+	}
+	if cfg.Unlearner == nil {
+		cfg.Unlearner = &Goldfish{}
+	}
+	trainers, err := cfg.Unlearner.Setup(Env{Client: cfg.Client, Parts: parts})
+	if err != nil {
+		return nil, err
+	}
+	if len(trainers) != len(parts) {
+		return nil, fmt.Errorf("unlearn: strategy %s built %d trainers for %d partitions",
+			cfg.Unlearner.Name(), len(trainers), len(parts))
+	}
+	initNet, err := buildModel(cfg.Client.Model)
+	if err != nil {
+		return nil, err
+	}
+	evalNet, err := buildModel(cfg.Client.Model)
+	if err != nil {
+		return nil, err
+	}
+
+	f := &Federation{cfg: cfg, strategy: cfg.Unlearner, evalNet: evalNet}
+
+	var scorer fed.Scorer
+	if _, adaptive := cfg.Aggregator.(fed.AdaptiveWeight); adaptive && cfg.ServerTest != nil {
+		scorer = fed.ScorerFunc(func(params []float64) (float64, error) {
+			if err := f.evalNet.SetStateVector(params); err != nil {
+				return 0, err
+			}
+			return metrics.MSE(f.evalNet, cfg.ServerTest, cfg.Client.BatchSize), nil
+		})
+	}
+
+	transport := cfg.Transport
+	if transport == nil {
+		f.local = fed.NewLocalTransport(trainers)
+		transport = f.local
+	}
+	engine, err := fed.NewEngine(fed.EngineConfig{
+		Aggregator:     cfg.Aggregator,
+		Scorer:         scorer,
+		MinClients:     cfg.MinClients,
+		ClientFraction: cfg.ClientFraction,
+		RoundTimeout:   cfg.RoundTimeout,
+		SampleSeed:     cfg.SampleSeed,
+		OnRound: func(ri fed.RoundInfo) {
+			unlearning := f.pendingUnlearn
+			f.pendingUnlearn = false
+			if f.onRound != nil {
+				f.onRound(RoundStats{
+					Round:           ri.Round,
+					Global:          ri.Global,
+					Updates:         ri.Updates,
+					Dropped:         ri.Dropped,
+					UnlearningRound: unlearning,
+				})
+			}
+		},
+	}, initNet.StateVector(), transport)
+	if err != nil {
+		return nil, err
+	}
+	f.engine = engine
+	return f, nil
+}
+
+// Strategy returns the active unlearning strategy.
+func (f *Federation) Strategy() Strategy { return f.strategy }
+
+// NumClients returns the number of participants.
+func (f *Federation) NumClients() int {
+	if f.local != nil {
+		return f.local.NumClients()
+	}
+	return f.cfg.Transport.NumClients()
+}
+
+// Client returns participant i, or nil when i is out of range or the
+// strategy's participants are not Goldfish clients.
+func (f *Federation) Client(i int) *core.Client {
+	if ca, ok := f.strategy.(ClientAccessor); ok {
+		return ca.Client(i)
+	}
+	return nil
+}
+
+// Round returns the number of completed rounds.
+func (f *Federation) Round() int { return f.engine.Round() }
+
+// Global returns a copy of the current global state vector.
+func (f *Federation) Global() []float64 { return f.engine.Global() }
+
+// GlobalNet returns a fresh network loaded with the current global state.
+func (f *Federation) GlobalNet() (*nn.Network, error) {
+	net, err := buildModel(f.cfg.Client.Model)
+	if err != nil {
+		return nil, err
+	}
+	if err := net.SetStateVector(f.engine.Global()); err != nil {
+		return nil, fmt.Errorf("unlearn: loading global state: %w", err)
+	}
+	return net, nil
+}
+
+// RequestDeletion submits a deletion request for rows of a client's local
+// dataset. The strategy decides how it is honoured: Goldfish runs
+// Algorithm 1 lines 8–17, the retrain baselines drop the rows and restart
+// from scratch, the incompetent teacher distills the data away.
+func (f *Federation) RequestDeletion(clientID int, rows []int) error {
+	next, err := f.strategy.Forget(clientID, rows, f.engine.Global())
+	if err != nil {
+		return err
+	}
+	if next != nil {
+		f.engine.SetGlobal(next)
+	}
+	f.pendingUnlearn = true
+	return nil
+}
+
+// AddClient registers a new participant holding the given local dataset and
+// returns its client ID (unique across the federation's lifetime, even
+// after removals). The client joins from the next round onward.
+func (f *Federation) AddClient(ds *data.Dataset) (int, error) {
+	m, ok := f.strategy.(Membership)
+	if !ok {
+		return 0, fmt.Errorf("unlearn: strategy %s does not support dynamic membership", f.strategy.Name())
+	}
+	if f.local == nil {
+		return 0, fmt.Errorf("unlearn: dynamic membership requires the in-process transport")
+	}
+	tr, id, err := m.AddTrainer(ds)
+	if err != nil {
+		return 0, err
+	}
+	f.local.Append(tr)
+	return id, nil
+}
+
+// RemoveClient removes a participant from the federation. When unlearn is
+// true the removal is treated as a deletion request for the client's entire
+// remaining dataset, so its contribution is actively forgotten rather than
+// merely no longer aggregated.
+func (f *Federation) RemoveClient(clientID int, unlearn bool) error {
+	m, ok := f.strategy.(Membership)
+	if !ok {
+		return fmt.Errorf("unlearn: strategy %s does not support dynamic membership", f.strategy.Name())
+	}
+	if f.local == nil {
+		return fmt.Errorf("unlearn: dynamic membership requires the in-process transport")
+	}
+	next, err := m.RemoveTrainer(clientID, unlearn)
+	if err != nil {
+		return err
+	}
+	if rerr := f.local.Remove(clientID); rerr != nil {
+		return rerr
+	}
+	if next != nil {
+		f.engine.SetGlobal(next)
+	}
+	if unlearn {
+		f.pendingUnlearn = true
+	}
+	return nil
+}
+
+// Run executes n federation rounds, invoking onRound (may be nil) after
+// each. It honours ctx cancellation.
+func (f *Federation) Run(ctx context.Context, n int, onRound func(RoundStats)) error {
+	f.onRound = onRound
+	defer func() { f.onRound = nil }()
+	return f.engine.Run(ctx, n)
+}
+
+// TestAccuracy evaluates the current global model on a dataset.
+func (f *Federation) TestAccuracy(test *data.Dataset) (float64, error) {
+	if err := f.evalNet.SetStateVector(f.engine.Global()); err != nil {
+		return 0, fmt.Errorf("unlearn: loading global state: %w", err)
+	}
+	return metrics.Accuracy(f.evalNet, test, 0), nil
+}
