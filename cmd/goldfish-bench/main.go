@@ -7,9 +7,17 @@
 //	goldfish-bench -exp table3
 //	goldfish-bench -exp fig5 -scale medium -seed 7
 //	goldfish-bench -exp all -scale tiny
+//	goldfish-bench -exp perf -scale tiny -json BENCH_1.json
 //
 // Scales: tiny (seconds per experiment), small (default), medium, paper
 // (hours; mirrors the paper's dimensions).
+//
+// The pseudo-experiment "perf" runs the performance suite: op-level matmul
+// GFLOP/s serial vs parallel, per-round wall time of the federated engine,
+// and end-to-end experiment time. With -json the machine-readable report is
+// written to the given path (the repo persists these as BENCH_*.json);
+// -json combined with regular experiments records their end-to-end wall
+// times alongside the kernel and round measurements.
 package main
 
 import (
@@ -38,6 +46,7 @@ func run() int {
 		round = flag.Int("rounds", 0, "override round budget (0 = per-scale default)")
 		rates = flag.String("rates", "", "comma-separated deletion rates in percent (e.g. 2,6,12)")
 		out   = flag.String("out", "", "also append reports to this file")
+		jsonP = flag.String("json", "", "write the machine-readable performance report (BENCH_*.json) here")
 	)
 	flag.Parse()
 
@@ -64,18 +73,6 @@ func run() int {
 		}
 	}
 
-	var targets []bench.Experiment
-	if *exp == "all" {
-		targets = bench.Experiments()
-	} else {
-		e, err := bench.ByID(*exp)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "goldfish-bench: %v\n", err)
-			return 2
-		}
-		targets = []bench.Experiment{e}
-	}
-
 	var sink io.Writer = os.Stdout
 	if *out != "" {
 		f, err := os.OpenFile(*out, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
@@ -91,6 +88,24 @@ func run() int {
 		sink = io.MultiWriter(os.Stdout, f)
 	}
 
+	var targets []bench.Experiment
+	switch *exp {
+	case "all":
+		targets = bench.Experiments()
+	case "perf":
+		// Performance suite only; end-to-end timing covers table3 by
+		// default so the report always carries an experiment-level number.
+		return runPerf(sink, opts, []string{"table3"}, nil, *jsonP)
+	default:
+		e, err := bench.ByID(*exp)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "goldfish-bench: %v\n", err)
+			return 2
+		}
+		targets = []bench.Experiment{e}
+	}
+
+	var measured []bench.ExperimentResult
 	for _, e := range targets {
 		start := time.Now()
 		report, err := e.Run(opts)
@@ -98,8 +113,40 @@ func run() int {
 			fmt.Fprintf(os.Stderr, "goldfish-bench: %s failed: %v\n", e.ID, err)
 			return 1
 		}
+		elapsed := time.Since(start)
 		report.Render(sink)
-		fmt.Fprintf(sink, "(%s completed in %v at scale %s)\n\n", e.ID, time.Since(start).Round(time.Millisecond), *scale)
+		fmt.Fprintf(sink, "(%s completed in %v at scale %s)\n\n", e.ID, elapsed.Round(time.Millisecond), *scale)
+		measured = append(measured, bench.ExperimentResult{
+			ID:      e.ID,
+			Scale:   *scale,
+			Seconds: elapsed.Seconds(),
+		})
+	}
+	if *jsonP != "" {
+		// Reuse the timings just measured; only the kernel and round suites
+		// run in addition.
+		return runPerf(sink, opts, nil, measured, *jsonP)
+	}
+	return 0
+}
+
+// runPerf executes the performance suite (running and timing the experiment
+// IDs in run, and folding in any pre-measured timings), prints the text
+// summary, and writes the JSON artifact when a path is given.
+func runPerf(sink io.Writer, opts bench.Options, run []string, measured []bench.ExperimentResult, jsonPath string) int {
+	rep, err := bench.RunPerf(bench.PerfOptions{Options: opts, Experiments: run})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "goldfish-bench: perf: %v\n", err)
+		return 1
+	}
+	rep.Experiments = append(rep.Experiments, measured...)
+	fmt.Fprint(sink, rep.RenderText())
+	if jsonPath != "" {
+		if err := rep.WriteJSON(jsonPath); err != nil {
+			fmt.Fprintf(os.Stderr, "goldfish-bench: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(sink, "wrote %s\n", jsonPath)
 	}
 	return 0
 }

@@ -21,6 +21,7 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"goldfish"
 	"goldfish/internal/fed"
@@ -40,6 +41,8 @@ func run() int {
 		scale   = flag.String("scale", "tiny", "experiment scale: tiny|small|medium|paper")
 		seed    = flag.Int64("seed", 1, "random seed (must match clients)")
 		agg     = flag.String("agg", "fedavg", "aggregator: fedavg|adaptive")
+		timeout = flag.Duration("round-timeout", time.Minute,
+			"per-round straggler bound; slower clients are dropped for the round (0 = wait forever)")
 	)
 	flag.Parse()
 
@@ -63,9 +66,10 @@ func run() int {
 	}
 
 	cfg := fed.ServerConfig{
-		Rounds:     *rounds,
-		NumClients: *clients,
-		Initial:    initNet.StateVector(),
+		Rounds:       *rounds,
+		NumClients:   *clients,
+		RoundTimeout: *timeout,
+		Initial:      initNet.StateVector(),
 		OnRound: func(ri fed.RoundInfo) {
 			if err := initNet.SetStateVector(ri.Global); err != nil {
 				return
@@ -85,12 +89,8 @@ func run() int {
 			fmt.Fprintf(os.Stderr, "goldfish-server: %v\n", err)
 			return 1
 		}
-		cfg.Scorer = fed.ScorerFunc(func(params []float64) (float64, error) {
-			if err := eval.SetStateVector(params); err != nil {
-				return 0, err
-			}
-			return metrics.MSE(eval, test, 0), nil
-		})
+		// Pooled replicas: the engine scores a round's updates concurrently.
+		cfg.Scorer = fed.ScorerFunc(metrics.NewMSEScorer(eval, test, 0))
 	default:
 		fmt.Fprintf(os.Stderr, "goldfish-server: unknown aggregator %q\n", *agg)
 		return 2

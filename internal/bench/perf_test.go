@@ -1,0 +1,63 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"goldfish/internal/data"
+)
+
+func TestRunPerfProducesReport(t *testing.T) {
+	rep, err := RunPerf(PerfOptions{
+		Options:       Options{Scale: data.ScaleTiny, Seed: 1},
+		KernelMinTime: 2 * time.Millisecond, // keep the test fast
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Kernels) != 3*len(perfKernelShapes) {
+		t.Fatalf("got %d kernel results, want %d", len(rep.Kernels), 3*len(perfKernelShapes))
+	}
+	for _, k := range rep.Kernels {
+		if k.SerialGFLOPS <= 0 || k.ParallelGFLOPS <= 0 {
+			t.Errorf("%s %dx%dx%d: non-positive GFLOP/s (%g serial, %g parallel)",
+				k.Op, k.M, k.K, k.N, k.SerialGFLOPS, k.ParallelGFLOPS)
+		}
+		if k.Speedup <= 0 {
+			t.Errorf("%s: non-positive speedup %g", k.Op, k.Speedup)
+		}
+	}
+	if len(rep.Rounds) != 1 {
+		t.Fatalf("got %d round results, want 1", len(rep.Rounds))
+	}
+	rd := rep.Rounds[0]
+	if rd.SecPerRnd <= 0 || rd.Clients <= 0 || rd.ModelSize <= 0 {
+		t.Errorf("implausible round benchmark %+v", rd)
+	}
+	if rep.GOMAXPROCS <= 0 || rep.GoVersion == "" {
+		t.Errorf("missing environment metadata: %+v", rep)
+	}
+
+	path := filepath.Join(t.TempDir(), "BENCH_test.json")
+	if err := rep.WriteJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back PerfReport
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatalf("BENCH json does not round-trip: %v", err)
+	}
+	if len(back.Kernels) != len(rep.Kernels) {
+		t.Errorf("round-trip lost kernel entries: %d vs %d", len(back.Kernels), len(rep.Kernels))
+	}
+
+	if rep.RenderText() == "" {
+		t.Error("empty text rendering")
+	}
+}

@@ -195,6 +195,15 @@ func (c *Client) TrainRound(ctx context.Context, round int, global []float64) (f
 	} else {
 		update, err = c.trainPlainLocked(ctx, round, global, teacherVec)
 	}
+	// The client is idle until the next round: drop every batch-sized
+	// activation cache and scratch buffer so waiting clients pin no memory.
+	c.student.ReleaseActivations()
+	c.teacher.ReleaseActivations()
+	if c.shards != nil {
+		for i := 0; i < c.shards.NumShards(); i++ {
+			c.shards.Shard(i).Model.ReleaseActivations()
+		}
+	}
 	if err != nil {
 		return fed.ModelUpdate{}, err
 	}

@@ -18,6 +18,11 @@ type LocalTrainer interface {
 // Scorer measures the quality of an uploaded parameter vector on data the
 // server holds (the paper evaluates each client's MSE on the central test
 // set, Eq. 12). Lower is better.
+//
+// The round engine scores the updates of a round concurrently (they are
+// independent), so implementations must be safe for concurrent Score calls —
+// evaluate on per-call model replicas (e.g. a sync.Pool of cloned networks)
+// rather than one shared mutable network.
 type Scorer interface {
 	Score(params []float64) (float64, error)
 }

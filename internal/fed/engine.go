@@ -3,6 +3,7 @@ package fed
 import (
 	"context"
 	"fmt"
+	"math"
 	"math/rand"
 	"sync"
 	"time"
@@ -138,9 +139,16 @@ func (e *Engine) sample() []int {
 	if f == 0 || f == 1 {
 		return all
 	}
-	k := int(float64(n) * f)
+	// Round to the nearest count (McMahan et al. sample max(round(n·f), 1)
+	// clients); truncation would systematically under-sample whenever the
+	// product lands just below an integer (10 clients at fraction 0.3 is
+	// 2.999…, which must mean 3 clients, not 2).
+	k := int(math.Round(float64(n) * f))
 	if k < 1 {
 		k = 1
+	}
+	if k > n {
+		k = n
 	}
 	e.sampler.Shuffle(n, func(i, j int) { all[i], all[j] = all[j], all[i] })
 	return all[:k]
@@ -180,12 +188,28 @@ func (e *Engine) RunRound(ctx context.Context) error {
 	}
 
 	if e.cfg.Scorer != nil {
+		// Client updates are independent, so the server-side quality probe
+		// (Eq. 12) scores them concurrently; Scorer implementations must be
+		// safe for concurrent use (see the Scorer contract).
+		scoreErrs := make([]error, len(updates))
+		var wg sync.WaitGroup
 		for i := range updates {
-			mse, err := e.cfg.Scorer.Score(updates[i].Params)
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				mse, err := e.cfg.Scorer.Score(updates[i].Params)
+				if err != nil {
+					scoreErrs[i] = err
+					return
+				}
+				updates[i].MSE = mse
+			}(i)
+		}
+		wg.Wait()
+		for i, err := range scoreErrs {
 			if err != nil {
 				return fmt.Errorf("fed: round %d: scoring client %d: %w", e.round, updates[i].ClientID, err)
 			}
-			updates[i].MSE = mse
 		}
 	}
 

@@ -1,0 +1,214 @@
+package fed
+
+import (
+	"context"
+	"encoding/gob"
+	"math"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestClientSamplingRoundsNotTruncates is the regression for the sampling
+// bug: int(float64(n)*f) truncates, so 10 clients at fraction 0.3
+// (10·0.3 = 2.999…) sampled 2 clients instead of 3. Sampling must take
+// max(round(n·f), 1) participants (McMahan et al.).
+func TestClientSamplingRoundsNotTruncates(t *testing.T) {
+	cases := []struct {
+		n    int
+		f    float64
+		want int
+	}{
+		{10, 0.3, 3},  // 2.999… must round to 3, not truncate to 2
+		{10, 0.1, 1},  // 1.000…01 stays 1
+		{7, 0.1, 1},   // 0.7 rounds to 1 (and the floor of 1 applies anyway)
+		{3, 0.01, 1},  // at least one client is always sampled
+		{10, 0.25, 3}, // 2.5 rounds half away from zero
+		{100, 0.3, 30},
+		{9, 0.33, 3},
+		{1000, 0.999, 999},
+	}
+	for _, c := range cases {
+		trainers := make([]LocalTrainer, c.n)
+		for i := range trainers {
+			trainers[i] = &stubTrainer{id: i, params: []float64{1}, samples: 1}
+		}
+		e, err := NewEngine(EngineConfig{ClientFraction: c.f, SampleSeed: 1},
+			[]float64{0}, NewLocalTransport(trainers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for trial := 0; trial < 5; trial++ {
+			if got := len(e.sample()); got != c.want {
+				t.Errorf("n=%d fraction=%g: sampled %d clients, want %d", c.n, c.f, got, c.want)
+				break
+			}
+		}
+	}
+}
+
+// Property: the sampled count never drifts more than half a client from n·f
+// (and never hits 0), for a sweep of population/fraction combinations.
+func TestClientSamplingNearExpectation(t *testing.T) {
+	for _, n := range []int{2, 5, 13, 64} {
+		for _, f := range []float64{0.05, 0.21, 0.33, 0.5, 0.77, 0.9} {
+			trainers := make([]LocalTrainer, n)
+			for i := range trainers {
+				trainers[i] = &stubTrainer{id: i, params: []float64{1}, samples: 1}
+			}
+			e, err := NewEngine(EngineConfig{ClientFraction: f, SampleSeed: int64(n)},
+				[]float64{0}, NewLocalTransport(trainers))
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := math.Round(float64(n) * f)
+			if want < 1 {
+				want = 1 // at least one client is always sampled
+			}
+			if got := float64(len(e.sample())); got != want {
+				t.Errorf("n=%d f=%g: sampled %g clients, want %g", n, f, got, want)
+			}
+		}
+	}
+}
+
+// pipeClient builds a connected clientConn plus the client-side endpoint.
+func pipeClient(t *testing.T, id int) (*clientConn, net.Conn) {
+	t.Helper()
+	server, client := net.Pipe()
+	t.Cleanup(func() { _ = server.Close(); _ = client.Close() })
+	return &clientConn{
+		id:   id,
+		conn: server,
+		enc:  gob.NewEncoder(server),
+		dec:  gob.NewDecoder(server),
+	}, client
+}
+
+// TestTCPRoundWithoutDeadlineWaitsForSlowClient: with no round bound, a
+// slow-but-healthy client must not be dropped — ExecuteRound blocks until
+// the update arrives.
+func TestTCPRoundWithoutDeadlineWaitsForSlowClient(t *testing.T) {
+	sc, clientSide := pipeClient(t, 0)
+	trans := &tcpTransport{clients: []*clientConn{sc}}
+
+	go func() {
+		dec := gob.NewDecoder(clientSide)
+		enc := gob.NewEncoder(clientSide)
+		var env envelope
+		if err := dec.Decode(&env); err != nil {
+			return
+		}
+		time.Sleep(300 * time.Millisecond) // healthy but slow
+		_ = enc.Encode(envelope{Type: msgUpdate, Update: ModelUpdate{
+			Round: env.Round, Params: []float64{42}, NumSamples: 1,
+		}})
+	}()
+
+	results := trans.ExecuteRound(context.Background(), 0, []int{0}, []float64{1})
+	if len(results) != 1 {
+		t.Fatalf("got %d results, want 1", len(results))
+	}
+	if results[0].Err != nil {
+		t.Fatalf("slow-but-healthy client dropped: %v", results[0].Err)
+	}
+	if len(results[0].Update.Params) != 1 || results[0].Update.Params[0] != 42 {
+		t.Errorf("unexpected update %+v", results[0].Update)
+	}
+}
+
+// TestTCPRoundWithoutDeadlineHonoursCancellation is the regression for the
+// phantom one-minute deadline: pre-fix, ExecuteRound with a deadline-free
+// context ignored cancellation and blocked on the invented read deadline;
+// it must return promptly once the context is cancelled.
+func TestTCPRoundWithoutDeadlineHonoursCancellation(t *testing.T) {
+	sc, clientSide := pipeClient(t, 0)
+	trans := &tcpTransport{clients: []*clientConn{sc}}
+
+	// The client reads the broadcast but never answers.
+	go func() {
+		dec := gob.NewDecoder(clientSide)
+		var env envelope
+		_ = dec.Decode(&env)
+		select {} // hold the connection open without responding
+	}()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	var cancelled atomic.Bool
+	go func() {
+		time.Sleep(100 * time.Millisecond)
+		cancelled.Store(true)
+		cancel()
+	}()
+
+	start := time.Now()
+	results := trans.ExecuteRound(ctx, 0, []int{0}, []float64{1})
+	elapsed := time.Since(start)
+
+	if !cancelled.Load() {
+		t.Fatal("ExecuteRound returned before cancellation with no deadline and no client reply")
+	}
+	if elapsed > 5*time.Second {
+		t.Fatalf("ExecuteRound took %v to observe cancellation", elapsed)
+	}
+	if results[0].Err == nil {
+		t.Error("expected an error result for the unresponsive client after cancellation")
+	}
+}
+
+// countingScorer records concurrent invocations; used to verify the engine
+// scores a round's updates in parallel and propagates scores.
+type countingScorer struct {
+	inFlight atomic.Int32
+	maxSeen  atomic.Int32
+	calls    atomic.Int32
+}
+
+func (s *countingScorer) Score(params []float64) (float64, error) {
+	cur := s.inFlight.Add(1)
+	defer s.inFlight.Add(-1)
+	for {
+		seen := s.maxSeen.Load()
+		if cur <= seen || s.maxSeen.CompareAndSwap(seen, cur) {
+			break
+		}
+	}
+	s.calls.Add(1)
+	time.Sleep(20 * time.Millisecond) // widen the overlap window
+	return params[0], nil
+}
+
+// TestEngineScoresUpdatesConcurrently drives a LocalTransport round with a
+// concurrency-tracking scorer; under -race this is also the scoring data-race
+// gate. Overlap is only asserted with multi-core parallelism available.
+func TestEngineScoresUpdatesConcurrently(t *testing.T) {
+	const n = 6
+	trainers := make([]LocalTrainer, n)
+	for i := range trainers {
+		trainers[i] = &stubTrainer{id: i, params: []float64{float64(i)}, samples: 1}
+	}
+	scorer := &countingScorer{}
+	var got []ModelUpdate
+	e, err := NewEngine(EngineConfig{
+		Scorer:  scorer,
+		OnRound: func(ri RoundInfo) { got = ri.Updates },
+	}, []float64{0}, NewLocalTransport(trainers))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.RunRound(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if int(scorer.calls.Load()) != n {
+		t.Fatalf("scored %d updates, want %d", scorer.calls.Load(), n)
+	}
+	for _, u := range got {
+		if u.MSE != float64(u.ClientID) {
+			t.Errorf("client %d MSE = %g, want %g", u.ClientID, u.MSE, float64(u.ClientID))
+		}
+	}
+	if max := scorer.maxSeen.Load(); max < 2 {
+		t.Logf("max concurrent scorings observed: %d (no overlap asserted on this hardware)", max)
+	}
+}

@@ -57,14 +57,20 @@ type ServerConfig struct {
 	ClientFraction float64
 	// Initial is the initial global parameter vector.
 	Initial []float64
-	// RoundTimeout bounds one full round (broadcast + collect); 0 means
-	// one minute.
+	// RoundTimeout bounds one full round (broadcast + collect). 0 disables
+	// the bound, matching EngineConfig: rounds then block until every
+	// sampled client responds or ctx is cancelled — a slow-but-healthy
+	// client is never dropped.
 	RoundTimeout time.Duration
 	// SampleSeed drives the client-sampling randomness.
 	SampleSeed int64
 	// OnRound, when set, is invoked after every aggregation.
 	OnRound func(RoundInfo)
 }
+
+// joinTimeout bounds the join handshake of a single connection when no
+// RoundTimeout is configured; see Serve.
+const joinTimeout = time.Minute
 
 // Server runs a federation over TCP.
 type Server struct {
@@ -87,9 +93,6 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	}
 	if cfg.MinClients > cfg.NumClients {
 		return nil, fmt.Errorf("fed: MinClients %d exceeds NumClients %d", cfg.MinClients, cfg.NumClients)
-	}
-	if cfg.RoundTimeout <= 0 {
-		cfg.RoundTimeout = time.Minute
 	}
 	return &Server{cfg: cfg}, nil
 }
@@ -116,10 +119,7 @@ func (t *tcpTransport) NumClients() int { return len(t.clients) }
 // sampled clients, then collect one update from each before the round
 // deadline.
 func (t *tcpTransport) ExecuteRound(ctx context.Context, round int, participants []int, global []float64) []RoundResult {
-	deadline, ok := ctx.Deadline()
-	if !ok {
-		deadline = time.Now().Add(time.Minute)
-	}
+	deadline, hasDeadline := ctx.Deadline()
 	results := make([]RoundResult, len(participants))
 	var wg sync.WaitGroup
 	for k, idx := range participants {
@@ -132,7 +132,18 @@ func (t *tcpTransport) ExecuteRound(ctx context.Context, round int, participants
 		wg.Add(1)
 		go func(k int, c *clientConn) {
 			defer wg.Done()
-			_ = c.conn.SetReadDeadline(deadline)
+			if hasDeadline {
+				_ = c.conn.SetReadDeadline(deadline)
+			} else {
+				// No round bound was configured: honour that by blocking
+				// until the client responds. Inventing a deadline here would
+				// drop slow-but-healthy clients the server asked to wait for.
+				_ = c.conn.SetReadDeadline(time.Time{})
+			}
+			// Either way, cancelling ctx (shutdown, SIGINT) must unblock the
+			// read immediately rather than waiting out any deadline.
+			stop := context.AfterFunc(ctx, func() { _ = c.conn.SetReadDeadline(time.Unix(1, 0)) })
+			defer stop()
 			for {
 				var env envelope
 				if err := c.dec.Decode(&env); err != nil {
@@ -195,9 +206,20 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) (final []float64, e
 			enc:  gob.NewEncoder(conn),
 			dec:  gob.NewDecoder(conn),
 		}
+		// The join handshake is always bounded, even when rounds are not:
+		// an unauthenticated peer that connects and sends nothing (port
+		// scanner, health check) must not wedge the sequential accept loop.
+		joinBound := s.cfg.RoundTimeout
+		if joinBound <= 0 {
+			joinBound = joinTimeout
+		}
 		var hello envelope
-		_ = conn.SetReadDeadline(time.Now().Add(s.cfg.RoundTimeout))
-		if derr := c.dec.Decode(&hello); derr != nil || hello.Type != msgJoin {
+		_ = conn.SetReadDeadline(time.Now().Add(joinBound))
+		// Unblock the handshake read early if the server is cancelled.
+		stopJoin := context.AfterFunc(ctx, func() { _ = conn.SetReadDeadline(time.Unix(1, 0)) })
+		derr := c.dec.Decode(&hello)
+		stopJoin()
+		if derr != nil || hello.Type != msgJoin {
 			_ = conn.Close()
 			continue // malformed joiner; keep waiting
 		}

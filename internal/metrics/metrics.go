@@ -7,6 +7,7 @@ package metrics
 
 import (
 	"fmt"
+	"sync"
 
 	"goldfish/internal/data"
 	"goldfish/internal/nn"
@@ -79,6 +80,28 @@ func AttackSuccessRate(net *nn.Network, triggered *data.Dataset, target int, bat
 		}
 	}
 	return float64(hits) / float64(triggered.Len())
+}
+
+// NewMSEScorer returns a function computing the Eq. 12 MSE of a flat
+// parameter vector on the given test set. Each call evaluates on a
+// per-goroutine replica of template drawn from a pool, so the scorer is
+// safe for the round engine's concurrent scoring. template itself is never
+// mutated.
+func NewMSEScorer(template *nn.Network, test *data.Dataset, batch int) func(params []float64) (float64, error) {
+	tmpl := template.Clone()
+	pool := sync.Pool{New: func() any { return tmpl.Clone() }}
+	return func(params []float64) (float64, error) {
+		net := pool.Get().(*nn.Network)
+		defer pool.Put(net)
+		if err := net.SetStateVector(params); err != nil {
+			return 0, fmt.Errorf("metrics: scoring parameters: %w", err)
+		}
+		mse := MSE(net, test, batch)
+		// The replica returns to the pool idle; don't let it pin
+		// test-batch-sized activations while it waits.
+		net.ReleaseActivations()
+		return mse, nil
+	}
 }
 
 // MSE returns the mean squared error between the network's softmax outputs

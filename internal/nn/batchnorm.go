@@ -26,6 +26,8 @@ type BatchNorm2D struct {
 	xmu     *tensor.Tensor
 	inShape []int
 	m       float64 // number of elements per channel in the last batch
+
+	out, dx *tensor.Tensor // reusable scratch
 }
 
 var _ Layer = (*BatchNorm2D)(nil)
@@ -65,7 +67,8 @@ func (b *BatchNorm2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	b.inShape = x.Shape()
 	b.m = m
 
-	out := tensor.New(x.Shape()...)
+	b.out = tensor.EnsureShape(b.out, x.Shape()...)
+	out := b.out
 	xd, od := x.Data(), out.Data()
 	gd, bd := b.gamma.W.Data(), b.beta.W.Data()
 
@@ -84,8 +87,8 @@ func (b *BatchNorm2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 		return out
 	}
 
-	b.xhat = tensor.New(x.Shape()...)
-	b.xmu = tensor.New(x.Shape()...)
+	b.xhat = tensor.EnsureShape(b.xhat, x.Shape()...)
+	b.xmu = tensor.EnsureShape(b.xmu, x.Shape()...)
 	if cap(b.invStd) < c {
 		b.invStd = make([]float64, c)
 	}
@@ -138,7 +141,8 @@ func (b *BatchNorm2D) Backward(dout *tensor.Tensor) *tensor.Tensor {
 	area := b.inShape[2] * b.inShape[3]
 	m := b.m
 
-	dx := tensor.New(b.inShape...)
+	b.dx = tensor.EnsureShape(b.dx, b.inShape...)
+	dx := b.dx
 	dd, dxd := dout.Data(), dx.Data()
 	xh := b.xhat.Data()
 	gd := b.gamma.W.Data()
@@ -171,6 +175,14 @@ func (b *BatchNorm2D) Backward(dout *tensor.Tensor) *tensor.Tensor {
 
 // Params implements Layer.
 func (b *BatchNorm2D) Params() []*Param { return []*Param{b.gamma, b.beta} }
+
+// ReleaseActivations implements ActivationReleaser. Running statistics are
+// model state and survive; only batch-sized caches and scratch are dropped.
+func (b *BatchNorm2D) ReleaseActivations() {
+	b.xhat, b.xmu, b.out, b.dx = nil, nil, nil, nil
+	b.invStd = nil
+	b.inShape = nil
+}
 
 // RunningStats returns copies of the running mean and variance.
 func (b *BatchNorm2D) RunningStats() (mean, variance []float64) {

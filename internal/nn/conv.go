@@ -20,6 +20,10 @@ type Conv2D struct {
 	outH, outW   int
 	cachedBatch  int
 	cachedShapes bool
+
+	// Reusable scratch recycled across batches; released by
+	// ReleaseActivations together with cols.
+	prod, out, dprod, dw, dcols, dx *tensor.Tensor
 }
 
 var _ Layer = (*Conv2D)(nil)
@@ -62,12 +66,14 @@ func (c *Conv2D) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
 	c.cachedShapes = true
 
 	// cols: (inC*k*k, n*oh*ow)
-	cols := im2col(x, c.Kernel, c.Stride, c.Pad, oh, ow)
-	c.cols = cols
+	c.cols = tensor.EnsureShape(c.cols, c.InC*c.Kernel*c.Kernel, n*oh*ow)
+	cols := im2col(x, c.Kernel, c.Stride, c.Pad, oh, ow, c.cols)
 	wmat := c.w.W.Reshape(c.OutC, c.InC*c.Kernel*c.Kernel)
-	prod := tensor.MatMul(wmat, cols) // (outC, n*oh*ow)
+	c.prod = tensor.EnsureShape(c.prod, c.OutC, n*oh*ow)
+	prod := tensor.MatMulInto(c.prod, wmat, cols) // (outC, n*oh*ow)
 
-	out := tensor.New(n, c.OutC, oh, ow)
+	c.out = tensor.EnsureShape(c.out, n, c.OutC, oh, ow)
+	out := c.out
 	od := out.Data()
 	pd := prod.Data()
 	bd := c.b.W.Data()
@@ -95,7 +101,8 @@ func (c *Conv2D) Backward(dout *tensor.Tensor) *tensor.Tensor {
 	spatial := oh * ow
 
 	// Rearrange dout (n, outC, oh, ow) into (outC, n*oh*ow) to mirror prod.
-	dprod := tensor.New(c.OutC, n*spatial)
+	c.dprod = tensor.EnsureShape(c.dprod, c.OutC, n*spatial)
+	dprod := c.dprod
 	dd := dout.Data()
 	dpd := dprod.Data()
 	for oc := 0; oc < c.OutC; oc++ {
@@ -117,13 +124,22 @@ func (c *Conv2D) Backward(dout *tensor.Tensor) *tensor.Tensor {
 	}
 
 	// Weight gradient: dW = dprod · colsᵀ, shaped back to (outC, inC, k, k).
-	dw := tensor.MatMulTransB(dprod, c.cols) // (outC, inC*k*k)
+	c.dw = tensor.EnsureShape(c.dw, c.OutC, c.InC*c.Kernel*c.Kernel)
+	dw := tensor.MatMulTransBInto(c.dw, dprod, c.cols) // (outC, inC*k*k)
 	c.w.G.AddInPlace(dw.Reshape(c.w.G.Shape()...))
 
 	// Input gradient: dcols = Wᵀ · dprod, then col2im.
 	wmat := c.w.W.Reshape(c.OutC, c.InC*c.Kernel*c.Kernel)
-	dcols := tensor.MatMulTransA(wmat, dprod) // (inC*k*k, n*oh*ow)
-	return col2im(dcols, n, c.InC, c.inH, c.inW, c.Kernel, c.Stride, c.Pad, oh, ow)
+	c.dcols = tensor.EnsureShape(c.dcols, c.InC*c.Kernel*c.Kernel, n*spatial)
+	dcols := tensor.MatMulTransAInto(c.dcols, wmat, dprod) // (inC*k*k, n*oh*ow)
+	c.dx = tensor.EnsureShape(c.dx, n, c.InC, c.inH, c.inW)
+	return col2im(dcols, n, c.InC, c.inH, c.inW, c.Kernel, c.Stride, c.Pad, oh, ow, c.dx)
+}
+
+// ReleaseActivations implements ActivationReleaser.
+func (c *Conv2D) ReleaseActivations() {
+	c.cols, c.prod, c.out, c.dprod, c.dw, c.dcols, c.dx = nil, nil, nil, nil, nil, nil, nil
+	c.cachedShapes = false
 }
 
 // Params implements Layer.
@@ -142,11 +158,11 @@ func (c *Conv2D) Clone() Layer {
 	}
 }
 
-// im2col unrolls x (n, inC, h, w) into a matrix of shape
-// (inC*k*k, n*oh*ow) where each column is one receptive field.
-func im2col(x *tensor.Tensor, k, stride, pad, oh, ow int) *tensor.Tensor {
+// im2col unrolls x (n, inC, h, w) into the provided (inC*k*k, n*oh*ow)
+// matrix where each column is one receptive field; every element is
+// written, so cols may hold stale scratch.
+func im2col(x *tensor.Tensor, k, stride, pad, oh, ow int, cols *tensor.Tensor) *tensor.Tensor {
 	n, inC, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
-	cols := tensor.New(inC*k*k, n*oh*ow)
 	xd := x.Data()
 	cd := cols.Data()
 	colW := n * oh * ow
@@ -182,10 +198,10 @@ func im2col(x *tensor.Tensor, k, stride, pad, oh, ow int) *tensor.Tensor {
 	return cols
 }
 
-// col2im scatters a column matrix back into an (n, inC, h, w) tensor,
-// accumulating overlapping contributions.
-func col2im(cols *tensor.Tensor, n, inC, h, w, k, stride, pad, oh, ow int) *tensor.Tensor {
-	out := tensor.New(n, inC, h, w)
+// col2im scatters a column matrix back into the provided (n, inC, h, w)
+// tensor, accumulating overlapping contributions on top of a zeroed buffer.
+func col2im(cols *tensor.Tensor, n, inC, h, w, k, stride, pad, oh, ow int, out *tensor.Tensor) *tensor.Tensor {
+	out.Zero()
 	od := out.Data()
 	cd := cols.Data()
 	colW := n * oh * ow

@@ -14,6 +14,10 @@ type Dense struct {
 
 	w, b *Param
 	x    *tensor.Tensor // cached input for Backward
+
+	// Reusable scratch, sized on first use and recycled across batches.
+	// ReleaseActivations drops it so idle models hold no batch-sized state.
+	fwdOut, dw, dx *tensor.Tensor
 }
 
 var _ Layer = (*Dense)(nil)
@@ -40,7 +44,8 @@ func (d *Dense) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
 		panic(fmt.Sprintf("nn: Dense(%d→%d) got input shape %v", d.In, d.Out, x.Shape()))
 	}
 	d.x = x
-	out := tensor.MatMulTransB(x, d.w.W) // (batch, out)
+	d.fwdOut = tensor.EnsureShape(d.fwdOut, x.Dim(0), d.Out)
+	out := tensor.MatMulTransBInto(d.fwdOut, x, d.w.W) // (batch, out)
 	batch := x.Dim(0)
 	bd := d.b.W.Data()
 	od := out.Data()
@@ -59,10 +64,16 @@ func (d *Dense) Backward(dout *tensor.Tensor) *tensor.Tensor {
 		panic("nn: Dense.Backward called before Forward")
 	}
 	// dW = doutᵀ · x ; db = column sums of dout ; dx = dout · W
-	dw := tensor.MatMulTransA(dout, d.x)
-	d.w.G.AddInPlace(dw)
+	d.dw = tensor.EnsureShape(d.dw, d.Out, d.In)
+	d.w.G.AddInPlace(tensor.MatMulTransAInto(d.dw, dout, d.x))
 	d.b.G.AddInPlace(tensor.SumRows(dout))
-	return tensor.MatMul(dout, d.w.W)
+	d.dx = tensor.EnsureShape(d.dx, dout.Dim(0), d.In)
+	return tensor.MatMulInto(d.dx, dout, d.w.W)
+}
+
+// ReleaseActivations implements ActivationReleaser.
+func (d *Dense) ReleaseActivations() {
+	d.x, d.fwdOut, d.dw, d.dx = nil, nil, nil, nil
 }
 
 // Params implements Layer.
@@ -81,6 +92,8 @@ func (d *Dense) Clone() Layer {
 // ReLU applies max(0, x) elementwise.
 type ReLU struct {
 	mask []bool // true where input was positive
+
+	out, dx *tensor.Tensor // reusable scratch
 }
 
 var _ Layer = (*ReLU)(nil)
@@ -90,20 +103,22 @@ func NewReLU() *ReLU { return &ReLU{} }
 
 // Forward implements Layer.
 func (r *ReLU) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
-	out := x.Clone()
+	r.out = tensor.EnsureShape(r.out, x.Shape()...)
 	if cap(r.mask) < x.Size() {
 		r.mask = make([]bool, x.Size())
 	}
 	r.mask = r.mask[:x.Size()]
-	for i, v := range out.Data() {
+	od := r.out.Data()
+	for i, v := range x.Data() {
 		if v > 0 {
 			r.mask[i] = true
+			od[i] = v
 		} else {
 			r.mask[i] = false
-			out.Data()[i] = 0
+			od[i] = 0
 		}
 	}
-	return out
+	return r.out
 }
 
 // Backward implements Layer.
@@ -111,13 +126,16 @@ func (r *ReLU) Backward(dout *tensor.Tensor) *tensor.Tensor {
 	if len(r.mask) != dout.Size() {
 		panic("nn: ReLU.Backward size mismatch with cached Forward")
 	}
-	dx := dout.Clone()
+	r.dx = tensor.EnsureShape(r.dx, dout.Shape()...)
+	dd, dxd := dout.Data(), r.dx.Data()
 	for i, keep := range r.mask {
-		if !keep {
-			dx.Data()[i] = 0
+		if keep {
+			dxd[i] = dd[i]
+		} else {
+			dxd[i] = 0
 		}
 	}
-	return dx
+	return r.dx
 }
 
 // Params implements Layer.
@@ -125,6 +143,9 @@ func (r *ReLU) Params() []*Param { return nil }
 
 // Clone implements Layer.
 func (r *ReLU) Clone() Layer { return &ReLU{} }
+
+// ReleaseActivations implements ActivationReleaser.
+func (r *ReLU) ReleaseActivations() { r.mask, r.out, r.dx = nil, nil, nil }
 
 // Flatten reshapes (N, ...) inputs into (N, prod(...)) matrices.
 type Flatten struct {
@@ -156,3 +177,6 @@ func (f *Flatten) Params() []*Param { return nil }
 
 // Clone implements Layer.
 func (f *Flatten) Clone() Layer { return &Flatten{} }
+
+// ReleaseActivations implements ActivationReleaser.
+func (f *Flatten) ReleaseActivations() { f.inShape = nil }

@@ -33,9 +33,24 @@ func newParam(name string, w *tensor.Tensor) *Param {
 	return &Param{Name: name, W: w, G: tensor.New(w.Shape()...)}
 }
 
+// ActivationReleaser is implemented by layers that cache batch-sized
+// activations or scratch buffers between Forward/Backward calls. Releasing
+// frees that state so an idle model (e.g. a federated client waiting for its
+// next round) pins no activation memory; the buffers are transparently
+// reallocated on the next Forward.
+type ActivationReleaser interface {
+	ReleaseActivations()
+}
+
 // Layer is one differentiable stage of a network. Forward must be called
 // before Backward; Backward receives ∂L/∂out and returns ∂L/∂in, adding
 // parameter gradients into the layer's Param.G tensors.
+//
+// Output lifetime: layers recycle their output and gradient buffers across
+// batches, so a tensor returned by Forward or Backward is valid only until
+// the next Forward/Backward call on the same layer (and is released by
+// ReleaseActivations). Callers that retain results across batches — e.g.
+// evaluation loops accumulating predictions — must copy them first.
 type Layer interface {
 	// Forward computes the layer output. train toggles training-time
 	// behaviour (e.g. batch statistics in BatchNorm).
@@ -70,7 +85,9 @@ func (n *Network) Add(layers ...Layer) *Network {
 // Layers returns the network's layers (shared, not copied).
 func (n *Network) Layers() []Layer { return n.layers }
 
-// Forward runs the input through every layer in order.
+// Forward runs the input through every layer in order. The returned tensor
+// aliases the final layer's reusable scratch: it is overwritten by the next
+// Forward on this network, so Clone it to retain it across batches.
 func (n *Network) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	for _, l := range n.layers {
 		x = l.Forward(x, train)
@@ -79,6 +96,8 @@ func (n *Network) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 }
 
 // Backward propagates the output gradient through every layer in reverse.
+// Like Forward, the returned gradient aliases layer scratch and is only
+// valid until the next Forward/Backward on this network.
 func (n *Network) Backward(dout *tensor.Tensor) *tensor.Tensor {
 	for i := len(n.layers) - 1; i >= 0; i-- {
 		dout = n.layers[i].Backward(dout)
@@ -102,6 +121,18 @@ func (n *Network) NumParams() int {
 		total += p.W.Size()
 	}
 	return total
+}
+
+// ReleaseActivations drops every layer's cached activations and reusable
+// scratch buffers. Call it when a model goes idle (end of a federated round,
+// after evaluation) so batch-sized state does not outlive its batch; the
+// next Forward reallocates what it needs.
+func (n *Network) ReleaseActivations() {
+	for _, l := range n.layers {
+		if r, ok := l.(ActivationReleaser); ok {
+			r.ReleaseActivations()
+		}
+	}
 }
 
 // ZeroGrads resets every parameter gradient to zero.

@@ -14,6 +14,8 @@ type MaxPool2D struct {
 
 	argmax  []int // flat input index chosen for each output element
 	inShape []int
+
+	out, dx *tensor.Tensor // reusable scratch
 }
 
 var _ Layer = (*MaxPool2D)(nil)
@@ -38,7 +40,8 @@ func (m *MaxPool2D) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
 		panic(fmt.Sprintf("nn: MaxPool2D window %d too large for input %v", k, x.Shape()))
 	}
 	m.inShape = x.Shape()
-	out := tensor.New(n, c, oh, ow)
+	m.out = tensor.EnsureShape(m.out, n, c, oh, ow)
+	out := m.out
 	if cap(m.argmax) < out.Size() {
 		m.argmax = make([]int, out.Size())
 	}
@@ -79,7 +82,8 @@ func (m *MaxPool2D) Backward(dout *tensor.Tensor) *tensor.Tensor {
 	if dout.Size() != len(m.argmax) {
 		panic("nn: MaxPool2D.Backward gradient size mismatch")
 	}
-	dx := tensor.New(m.inShape...)
+	m.dx = tensor.EnsureShape(m.dx, m.inShape...)
+	dx := m.dx.Zero()
 	dd, dxd := dout.Data(), dx.Data()
 	for i, idx := range m.argmax {
 		dxd[idx] += dd[i]
@@ -93,11 +97,18 @@ func (m *MaxPool2D) Params() []*Param { return nil }
 // Clone implements Layer.
 func (m *MaxPool2D) Clone() Layer { return &MaxPool2D{Window: m.Window} }
 
+// ReleaseActivations implements ActivationReleaser.
+func (m *MaxPool2D) ReleaseActivations() {
+	m.argmax, m.inShape, m.out, m.dx = nil, nil, nil, nil
+}
+
 // GlobalAvgPool2D averages each channel over its full spatial extent,
 // producing (N, C) outputs from (N, C, H, W) inputs. ResNets use it before
 // the final classifier.
 type GlobalAvgPool2D struct {
 	inShape []int
+
+	out, dx *tensor.Tensor // reusable scratch
 }
 
 var _ Layer = (*GlobalAvgPool2D)(nil)
@@ -112,7 +123,8 @@ func (g *GlobalAvgPool2D) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
 	}
 	n, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
 	g.inShape = x.Shape()
-	out := tensor.New(n, c)
+	g.out = tensor.EnsureShape(g.out, n, c)
+	out := g.out
 	xd, od := x.Data(), out.Data()
 	area := h * w
 	inv := 1 / float64(area)
@@ -137,7 +149,8 @@ func (g *GlobalAvgPool2D) Backward(dout *tensor.Tensor) *tensor.Tensor {
 	n, c, h, w := g.inShape[0], g.inShape[1], g.inShape[2], g.inShape[3]
 	area := h * w
 	inv := 1 / float64(area)
-	dx := tensor.New(g.inShape...)
+	g.dx = tensor.EnsureShape(g.dx, g.inShape...)
+	dx := g.dx
 	dd, dxd := dout.Data(), dx.Data()
 	for i := 0; i < n; i++ {
 		for ch := 0; ch < c; ch++ {
@@ -156,3 +169,6 @@ func (g *GlobalAvgPool2D) Params() []*Param { return nil }
 
 // Clone implements Layer.
 func (g *GlobalAvgPool2D) Clone() Layer { return &GlobalAvgPool2D{} }
+
+// ReleaseActivations implements ActivationReleaser.
+func (g *GlobalAvgPool2D) ReleaseActivations() { g.inShape, g.out, g.dx = nil, nil, nil }

@@ -54,7 +54,9 @@ func (r *Residual) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	} else {
 		s = x
 	}
-	return r.act.Forward(y.Add(s), train)
+	// y aliases the main path's output scratch, which nothing reads after
+	// this point, so the sum can accumulate in place (x is never y).
+	return r.act.Forward(y.AddInPlace(s), train)
 }
 
 // Backward implements Layer.
@@ -64,11 +66,12 @@ func (r *Residual) Backward(dout *tensor.Tensor) *tensor.Tensor {
 	}
 	dsum := r.act.Backward(dout)
 	dxMain := r.main.Backward(dsum)
+	// dxMain aliases the main path's input-gradient scratch (distinct from
+	// dsum, which is the activation's scratch), so accumulate in place.
 	if r.skip != nil {
-		dxSkip := r.skip.Backward(dsum)
-		return dxMain.Add(dxSkip)
+		return dxMain.AddInPlace(r.skip.Backward(dsum))
 	}
-	return dxMain.Add(dsum)
+	return dxMain.AddInPlace(dsum)
 }
 
 // Params implements Layer.
@@ -87,4 +90,15 @@ func (r *Residual) Clone() Layer {
 		out.skip = r.skip.Clone()
 	}
 	return out
+}
+
+// ReleaseActivations implements ActivationReleaser, recursing into the main
+// and skip paths.
+func (r *Residual) ReleaseActivations() {
+	r.lastX = nil
+	r.main.ReleaseActivations()
+	if r.skip != nil {
+		r.skip.ReleaseActivations()
+	}
+	r.act.ReleaseActivations()
 }

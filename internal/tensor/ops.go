@@ -5,86 +5,157 @@ import (
 	"math"
 )
 
+// The three matrix kernels below share one execution scheme: the output is
+// split into contiguous row panels that run on the shared worker pool (see
+// pool.go), and within a panel the reduction dimension is tiled so the
+// panel of b being consumed stays cache-resident. Both transformations
+// preserve the per-element floating-point accumulation order of the naive
+// triple loop, so serial and parallel runs — and runs before and after this
+// blocking — are bitwise identical.
+
+// Reduction/column tile sizes, sized so one tile of b (tile × row-width
+// float64s) fits comfortably in a per-core cache alongside the output panel.
+const (
+	matmulKC = 256 // reduction-dimension tile for MatMul / MatMulTransA
+	matmulJB = 48  // b-row tile for MatMulTransB
+)
+
+// checkMatMul2D validates a 2-D kernel operand pair against the expected
+// inner dimensions and returns (or allocates) the (m,n) destination.
+func checkMatMul2D(op string, dst, a, b *Tensor, m, n int, innerOK bool) *Tensor {
+	if len(a.shape) != 2 || len(b.shape) != 2 {
+		panic(fmt.Sprintf("tensor: %s requires 2-D operands, got %v and %v", op, a.shape, b.shape))
+	}
+	if !innerOK {
+		panic(fmt.Sprintf("tensor: %s inner dimension mismatch %v · %v", op, a.shape, b.shape))
+	}
+	if dst == nil {
+		return New(m, n)
+	}
+	if len(dst.shape) != 2 || dst.shape[0] != m || dst.shape[1] != n {
+		panic(fmt.Sprintf("tensor: %s destination shape %v, want [%d %d]", op, dst.shape, m, n))
+	}
+	return dst
+}
+
+// dims2 returns a tensor's leading two dimensions, tolerating lower ranks
+// (checkMatMul2D reports the descriptive error in that case).
+func dims2(t *Tensor) (int, int) {
+	if len(t.shape) != 2 {
+		return 0, 0
+	}
+	return t.shape[0], t.shape[1]
+}
+
 // MatMul returns the matrix product a·b for 2-D tensors of shapes (m,k) and
 // (k,n). It panics if either operand is not 2-D or the inner dimensions
 // disagree.
-func MatMul(a, b *Tensor) *Tensor {
-	if len(a.shape) != 2 || len(b.shape) != 2 {
-		panic(fmt.Sprintf("tensor: MatMul requires 2-D operands, got %v and %v", a.shape, b.shape))
-	}
-	m, k := a.shape[0], a.shape[1]
-	k2, n := b.shape[0], b.shape[1]
-	if k != k2 {
-		panic(fmt.Sprintf("tensor: MatMul inner dimension mismatch %v · %v", a.shape, b.shape))
-	}
-	out := New(m, n)
+func MatMul(a, b *Tensor) *Tensor { return MatMulInto(nil, a, b) }
+
+// MatMulInto computes a·b into dst and returns it. dst must have shape
+// (m,n) or be nil, in which case a new tensor is allocated; passing a
+// reusable dst eliminates the per-call output allocation on hot paths.
+// dst must not alias a or b.
+func MatMulInto(dst, a, b *Tensor) *Tensor {
+	m, k := dims2(a)
+	k2, n := dims2(b)
+	out := checkMatMul2D("MatMul", dst, a, b, m, n, k == k2)
 	ad, bd, od := a.data, b.data, out.data
-	for i := 0; i < m; i++ {
-		arow := ad[i*k : (i+1)*k]
-		orow := od[i*n : (i+1)*n]
-		for p, av := range arow {
-			if av == 0 {
-				continue
+	parallelRows(m, m*n*k, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			clear(od[i*n : (i+1)*n])
+		}
+		for p0 := 0; p0 < k; p0 += matmulKC {
+			p1 := p0 + matmulKC
+			if p1 > k {
+				p1 = k
 			}
-			brow := bd[p*n : (p+1)*n]
-			for j, bv := range brow {
-				orow[j] += av * bv
+			for i := lo; i < hi; i++ {
+				arow := ad[i*k+p0 : i*k+p1]
+				orow := od[i*n : i*n+n]
+				for pp, av := range arow {
+					if av == 0 {
+						continue
+					}
+					p := p0 + pp
+					brow := bd[p*n : p*n+n]
+					for j, bv := range brow {
+						orow[j] += av * bv
+					}
+				}
 			}
 		}
-	}
+	})
 	return out
 }
 
 // MatMulTransB returns a·bᵀ for a of shape (m,k) and b of shape (n,k).
-func MatMulTransB(a, b *Tensor) *Tensor {
-	if len(a.shape) != 2 || len(b.shape) != 2 {
-		panic(fmt.Sprintf("tensor: MatMulTransB requires 2-D operands, got %v and %v", a.shape, b.shape))
-	}
-	m, k := a.shape[0], a.shape[1]
-	n, k2 := b.shape[0], b.shape[1]
-	if k != k2 {
-		panic(fmt.Sprintf("tensor: MatMulTransB inner dimension mismatch %v · %vᵀ", a.shape, b.shape))
-	}
-	out := New(m, n)
-	for i := 0; i < m; i++ {
-		arow := a.data[i*k : (i+1)*k]
-		orow := out.data[i*n : (i+1)*n]
-		for j := 0; j < n; j++ {
-			brow := b.data[j*k : (j+1)*k]
-			var s float64
-			for p, av := range arow {
-				s += av * brow[p]
+func MatMulTransB(a, b *Tensor) *Tensor { return MatMulTransBInto(nil, a, b) }
+
+// MatMulTransBInto computes a·bᵀ into dst (shape (m,n), or nil to
+// allocate) and returns it. dst must not alias a or b.
+func MatMulTransBInto(dst, a, b *Tensor) *Tensor {
+	m, k := dims2(a)
+	n, k2 := dims2(b)
+	out := checkMatMul2D("MatMulTransB", dst, a, b, m, n, k == k2)
+	ad, bd, od := a.data, b.data, out.data
+	parallelRows(m, m*n*k, func(lo, hi int) {
+		for j0 := 0; j0 < n; j0 += matmulJB {
+			j1 := j0 + matmulJB
+			if j1 > n {
+				j1 = n
 			}
-			orow[j] = s
+			for i := lo; i < hi; i++ {
+				arow := ad[i*k : i*k+k]
+				orow := od[i*n : i*n+n]
+				for j := j0; j < j1; j++ {
+					brow := bd[j*k : j*k+k]
+					var s float64
+					for p, av := range arow {
+						s += av * brow[p]
+					}
+					orow[j] = s
+				}
+			}
 		}
-	}
+	})
 	return out
 }
 
 // MatMulTransA returns aᵀ·b for a of shape (k,m) and b of shape (k,n).
-func MatMulTransA(a, b *Tensor) *Tensor {
-	if len(a.shape) != 2 || len(b.shape) != 2 {
-		panic(fmt.Sprintf("tensor: MatMulTransA requires 2-D operands, got %v and %v", a.shape, b.shape))
-	}
-	k, m := a.shape[0], a.shape[1]
-	k2, n := b.shape[0], b.shape[1]
-	if k != k2 {
-		panic(fmt.Sprintf("tensor: MatMulTransA inner dimension mismatch %vᵀ · %v", a.shape, b.shape))
-	}
-	out := New(m, n)
-	for p := 0; p < k; p++ {
-		arow := a.data[p*m : (p+1)*m]
-		brow := b.data[p*n : (p+1)*n]
-		for i, av := range arow {
-			if av == 0 {
-				continue
+func MatMulTransA(a, b *Tensor) *Tensor { return MatMulTransAInto(nil, a, b) }
+
+// MatMulTransAInto computes aᵀ·b into dst (shape (m,n), or nil to
+// allocate) and returns it. dst must not alias a or b.
+func MatMulTransAInto(dst, a, b *Tensor) *Tensor {
+	k, m := dims2(a)
+	k2, n := dims2(b)
+	out := checkMatMul2D("MatMulTransA", dst, a, b, m, n, k == k2)
+	ad, bd, od := a.data, b.data, out.data
+	parallelRows(m, m*n*k, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			clear(od[i*n : (i+1)*n])
+		}
+		for p0 := 0; p0 < k; p0 += matmulKC {
+			p1 := p0 + matmulKC
+			if p1 > k {
+				p1 = k
 			}
-			orow := out.data[i*n : (i+1)*n]
-			for j, bv := range brow {
-				orow[j] += av * bv
+			for i := lo; i < hi; i++ {
+				orow := od[i*n : i*n+n]
+				for p := p0; p < p1; p++ {
+					av := ad[p*m+i]
+					if av == 0 {
+						continue
+					}
+					brow := bd[p*n : p*n+n]
+					for j, bv := range brow {
+						orow[j] += av * bv
+					}
+				}
 			}
 		}
-	}
+	})
 	return out
 }
 
@@ -123,11 +194,13 @@ func SoftmaxRows(logits *Tensor, temp float64) *Tensor {
 	}
 	m, n := logits.shape[0], logits.shape[1]
 	out := New(m, n)
-	for i := 0; i < m; i++ {
-		src := logits.data[i*n : (i+1)*n]
-		dst := out.data[i*n : (i+1)*n]
-		softmaxInto(dst, src, temp)
-	}
+	parallelRows(m, 8*m*n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			src := logits.data[i*n : (i+1)*n]
+			dst := out.data[i*n : (i+1)*n]
+			softmaxInto(dst, src, temp)
+		}
+	})
 	return out
 }
 
@@ -159,24 +232,26 @@ func LogSoftmaxRows(logits *Tensor) *Tensor {
 	}
 	m, n := logits.shape[0], logits.shape[1]
 	out := New(m, n)
-	for i := 0; i < m; i++ {
-		src := logits.data[i*n : (i+1)*n]
-		dst := out.data[i*n : (i+1)*n]
-		maxv := src[0]
-		for _, v := range src[1:] {
-			if v > maxv {
-				maxv = v
+	parallelRows(m, 8*m*n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			src := logits.data[i*n : (i+1)*n]
+			dst := out.data[i*n : (i+1)*n]
+			maxv := src[0]
+			for _, v := range src[1:] {
+				if v > maxv {
+					maxv = v
+				}
+			}
+			var sum float64
+			for _, v := range src {
+				sum += math.Exp(v - maxv)
+			}
+			lse := maxv + math.Log(sum)
+			for j, v := range src {
+				dst[j] = v - lse
 			}
 		}
-		var sum float64
-		for _, v := range src {
-			sum += math.Exp(v - maxv)
-		}
-		lse := maxv + math.Log(sum)
-		for j, v := range src {
-			dst[j] = v - lse
-		}
-	}
+	})
 	return out
 }
 

@@ -1,0 +1,178 @@
+package tensor
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// naiveMatMul is the reference triple loop the blocked kernels must
+// reproduce bitwise (their tiling preserves per-element accumulation order).
+func naiveMatMul(a, b *Tensor) *Tensor {
+	m, k := a.shape[0], a.shape[1]
+	n := b.shape[1]
+	out := New(m, n)
+	for i := 0; i < m; i++ {
+		for p := 0; p < k; p++ {
+			av := a.data[i*k+p]
+			if av == 0 {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				out.data[i*n+j] += av * b.data[p*n+j]
+			}
+		}
+	}
+	return out
+}
+
+// TestParallelKernelsMatchSerial is the kernel parity gate: every matmul
+// variant must produce identical results (within 1e-12; in fact bitwise)
+// under the worker pool and under GOLDFISH_SERIAL-style serial execution.
+// CI fails if this test is skipped.
+func TestParallelKernelsMatchSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	shapes := []struct{ m, k, n int }{
+		{1, 1, 1},
+		{3, 5, 2},
+		{17, 33, 9},
+		{64, 128, 96},
+		{128, 257, 130}, // above the parallel threshold, odd panel splits
+	}
+	for _, s := range shapes {
+		t.Run(fmt.Sprintf("%dx%dx%d", s.m, s.k, s.n), func(t *testing.T) {
+			a := New(s.m, s.k).RandNormal(rng, 0, 1)
+			b := New(s.k, s.n).RandNormal(rng, 0, 1)
+			at := Transpose2D(a)
+			bt := Transpose2D(b)
+
+			prev := ForceSerial(true)
+			serial := MatMul(a, b)
+			serialTB := MatMulTransB(a, bt)
+			serialTA := MatMulTransA(at, b)
+			ForceSerial(false)
+			par := MatMul(a, b)
+			parTB := MatMulTransB(a, bt)
+			parTA := MatMulTransA(at, b)
+			ForceSerial(prev)
+
+			if d := serial.MaxAbsDiff(par); d > 1e-12 {
+				t.Errorf("MatMul parallel vs serial differ by %g", d)
+			}
+			if d := serialTB.MaxAbsDiff(parTB); d > 1e-12 {
+				t.Errorf("MatMulTransB parallel vs serial differ by %g", d)
+			}
+			if d := serialTA.MaxAbsDiff(parTA); d > 1e-12 {
+				t.Errorf("MatMulTransA parallel vs serial differ by %g", d)
+			}
+			// All variants must also agree with the naive reference exactly.
+			want := naiveMatMul(a, b)
+			for name, got := range map[string]*Tensor{
+				"MatMul": par, "MatMulTransB": parTB, "MatMulTransA": parTA,
+			} {
+				if d := want.MaxAbsDiff(got); d != 0 {
+					t.Errorf("%s differs from naive reference by %g (want bitwise identity)", name, d)
+				}
+			}
+		})
+	}
+}
+
+func TestMatMulIntoReusesDestination(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	a := New(9, 13).RandNormal(rng, 0, 1)
+	b := New(13, 6).RandNormal(rng, 0, 1)
+	dst := New(9, 6).Fill(123) // stale garbage must be overwritten
+	got := MatMulInto(dst, a, b)
+	if got != dst {
+		t.Fatal("MatMulInto must return its destination")
+	}
+	if d := got.MaxAbsDiff(MatMul(a, b)); d != 0 {
+		t.Errorf("MatMulInto differs from MatMul by %g", d)
+	}
+
+	bt := Transpose2D(b) // (6, 13)
+	dtb := New(9, 6).Fill(-7)
+	if d := MatMulTransBInto(dtb, a, bt).MaxAbsDiff(MatMulTransB(a, bt)); d != 0 {
+		t.Errorf("MatMulTransBInto differs from MatMulTransB by %g", d)
+	}
+	c := New(9, 6).RandNormal(rng, 0, 1)
+	dta := New(13, 6).Fill(99)
+	if d := MatMulTransAInto(dta, a, c).MaxAbsDiff(MatMulTransA(a, c)); d != 0 {
+		t.Errorf("MatMulTransAInto differs from MatMulTransA by %g", d)
+	}
+}
+
+func TestMatMulIntoBadShapePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for wrong destination shape")
+		}
+	}()
+	MatMulInto(New(2, 2), New(2, 3), New(3, 4))
+}
+
+func TestEnsureShape(t *testing.T) {
+	if got := EnsureShape(nil, 2, 3); got.Size() != 6 {
+		t.Fatalf("EnsureShape(nil) size = %d, want 6", got.Size())
+	}
+	big := New(4, 4)
+	backing := big.Data()
+	small := EnsureShape(big, 2, 3)
+	if small.Size() != 6 || small.Dim(0) != 2 || small.Dim(1) != 3 {
+		t.Fatalf("EnsureShape reuse got shape %v", small.Shape())
+	}
+	if &small.Data()[0] != &backing[0] {
+		t.Error("EnsureShape should reuse backing storage when capacity allows")
+	}
+	grown := EnsureShape(small, 5, 5)
+	if grown.Size() != 25 {
+		t.Fatalf("EnsureShape grow size = %d", grown.Size())
+	}
+}
+
+// TestKernelsConcurrentUse exercises the shared worker pool from many
+// goroutines at once; run under -race this is the data-race gate for the
+// pool itself.
+func TestKernelsConcurrentUse(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := New(70, 90).RandNormal(rng, 0, 1)
+	b := New(90, 50).RandNormal(rng, 0, 1)
+	want := MatMul(a, b)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for it := 0; it < 5; it++ {
+				if d := MatMul(a, b).MaxAbsDiff(want); d != 0 {
+					t.Errorf("concurrent MatMul diverged by %g", d)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func benchMatMul(b *testing.B, m, k, n int, serial bool) {
+	rng := rand.New(rand.NewSource(1))
+	x := New(m, k).RandNormal(rng, 0, 1)
+	y := New(k, n).RandNormal(rng, 0, 1)
+	dst := New(m, n)
+	prev := ForceSerial(serial)
+	defer ForceSerial(prev)
+	b.SetBytes(int64(8 * m * n))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMulInto(dst, x, y)
+	}
+	flops := 2 * float64(m) * float64(k) * float64(n)
+	b.ReportMetric(flops*float64(b.N)/b.Elapsed().Seconds()/1e9, "GFLOP/s")
+}
+
+func BenchmarkMatMulSerial64(b *testing.B)    { benchMatMul(b, 64, 512, 512, true) }
+func BenchmarkMatMulParallel64(b *testing.B)  { benchMatMul(b, 64, 512, 512, false) }
+func BenchmarkMatMulSerial128(b *testing.B)   { benchMatMul(b, 128, 512, 512, true) }
+func BenchmarkMatMulParallel128(b *testing.B) { benchMatMul(b, 128, 512, 512, false) }

@@ -55,6 +55,21 @@ func checkShape(shape []int) int {
 	return n
 }
 
+// EnsureShape returns a tensor with exactly the given shape, reusing t's
+// backing storage when it is large enough and allocating otherwise (t may be
+// nil). The contents are unspecified after the call: callers own the returned
+// tensor and must fully overwrite or Zero it. This is the allocation-reuse
+// primitive behind the layer scratch buffers in package nn.
+func EnsureShape(t *Tensor, shape ...int) *Tensor {
+	n := checkShape(shape)
+	if t == nil || cap(t.data) < n {
+		return New(shape...)
+	}
+	t.data = t.data[:n]
+	t.shape = append(t.shape[:0], shape...)
+	return t
+}
+
 // Shape returns a copy of the tensor's shape.
 func (t *Tensor) Shape() []int { return append([]int(nil), t.shape...) }
 

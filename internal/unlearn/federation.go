@@ -119,12 +119,8 @@ func NewFederation(cfg Config, parts []*data.Dataset) (*Federation, error) {
 
 	var scorer fed.Scorer
 	if _, adaptive := cfg.Aggregator.(fed.AdaptiveWeight); adaptive && cfg.ServerTest != nil {
-		scorer = fed.ScorerFunc(func(params []float64) (float64, error) {
-			if err := f.evalNet.SetStateVector(params); err != nil {
-				return 0, err
-			}
-			return metrics.MSE(f.evalNet, cfg.ServerTest, cfg.Client.BatchSize), nil
-		})
+		// Pooled replicas: the engine scores a round's updates concurrently.
+		scorer = fed.ScorerFunc(metrics.NewMSEScorer(evalNet, cfg.ServerTest, cfg.Client.BatchSize))
 	}
 
 	transport := cfg.Transport
