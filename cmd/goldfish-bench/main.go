@@ -8,6 +8,7 @@
 //	goldfish-bench -exp fig5 -scale medium -seed 7
 //	goldfish-bench -exp all -scale tiny
 //	goldfish-bench -exp perf -scale tiny -json BENCH_1.json
+//	goldfish-bench -exp scenario -config examples/scenarios/smoke.json
 //
 // Scales: tiny (seconds per experiment), small (default), medium, paper
 // (hours; mirrors the paper's dimensions).
@@ -18,9 +19,14 @@
 // written to the given path (the repo persists these as BENCH_*.json);
 // -json combined with regular experiments records their end-to-end wall
 // times alongside the kernel and round measurements.
+//
+// The pseudo-experiment "scenario" runs a declarative experiment matrix
+// from a -config spec file through goldfish.RunScenario, the same path the
+// goldfish-scenario command uses; -json then writes the scenario report.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -29,6 +35,7 @@ import (
 	"strings"
 	"time"
 
+	"goldfish"
 	"goldfish/internal/bench"
 	"goldfish/internal/data"
 )
@@ -47,6 +54,7 @@ func run() int {
 		rates = flag.String("rates", "", "comma-separated deletion rates in percent (e.g. 2,6,12)")
 		out   = flag.String("out", "", "also append reports to this file")
 		jsonP = flag.String("json", "", "write the machine-readable performance report (BENCH_*.json) here")
+		cfgP  = flag.String("config", "", "scenario spec file for -exp scenario")
 	)
 	flag.Parse()
 
@@ -96,6 +104,8 @@ func run() int {
 		// Performance suite only; end-to-end timing covers table3 by
 		// default so the report always carries an experiment-level number.
 		return runPerf(sink, opts, []string{"table3"}, nil, *jsonP)
+	case "scenario":
+		return runScenario(sink, *cfgP, *jsonP)
 	default:
 		e, err := bench.ByID(*exp)
 		if err != nil {
@@ -126,6 +136,40 @@ func run() int {
 		// Reuse the timings just measured; only the kernel and round suites
 		// run in addition.
 		return runPerf(sink, opts, nil, measured, *jsonP)
+	}
+	return 0
+}
+
+// runScenario runs a declarative experiment matrix through the public
+// goldfish.RunScenario path, mirroring the goldfish-scenario command.
+func runScenario(sink io.Writer, cfgPath, jsonPath string) int {
+	if cfgPath == "" {
+		fmt.Fprintln(os.Stderr, "goldfish-bench: -exp scenario requires -config file.json")
+		return 2
+	}
+	spec, err := goldfish.LoadScenario(cfgPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "goldfish-bench: %v\n", err)
+		return 2
+	}
+	start := time.Now()
+	rep, err := goldfish.RunScenario(context.Background(), spec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "goldfish-bench: %v\n", err)
+		return 1
+	}
+	rep.RenderText(sink)
+	fmt.Fprintf(sink, "(scenario %s completed in %v)\n", spec.Name, time.Since(start).Round(time.Millisecond))
+	if jsonPath != "" {
+		if err := rep.WriteJSON(jsonPath); err != nil {
+			fmt.Fprintf(os.Stderr, "goldfish-bench: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(sink, "wrote %s\n", jsonPath)
+	}
+	if err := rep.Complete(); err != nil {
+		fmt.Fprintf(os.Stderr, "goldfish-bench: incomplete matrix: %v\n", err)
+		return 1
 	}
 	return 0
 }

@@ -2,6 +2,8 @@ package data
 
 import (
 	"bytes"
+	"encoding/binary"
+	"math"
 	"math/rand"
 	"strings"
 	"testing"
@@ -422,4 +424,165 @@ func TestFromCSVErrors(t *testing.T) {
 	if _, err := FromCSV(strings.NewReader("9,1,2,3,4\n"), 1, 2, 2, 2); err == nil {
 		t.Error("out-of-range label accepted")
 	}
+}
+
+// Property: Dirichlet partitions cover every row exactly once, for a sweep
+// of seeds, part counts, and alphas.
+func TestQuickPartitionDirichletCoverage(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		parts := 2 + rng.Intn(6)
+		alpha := []float64{0.05, 0.3, 1, 10}[rng.Intn(4)]
+		d := tinySet(t, parts*10+rng.Intn(40), 5, seed)
+		out, err := PartitionDirichlet(d, parts, alpha, rng)
+		if err != nil {
+			return false
+		}
+		total := 0
+		for _, p := range out {
+			if p.Len() == 0 {
+				return false
+			}
+			total += p.Len()
+		}
+		if total != d.Len() {
+			return false
+		}
+		// Reconstruct the global histogram: coverage is exactly once iff the
+		// partition histograms sum to the dataset's.
+		sum := make([]int, d.Classes)
+		for _, p := range out {
+			for c, n := range p.ClassCounts() {
+				sum[c] += n
+			}
+		}
+		global := d.ClassCounts()
+		for c := range sum {
+			if sum[c] != global[c] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPartitionDirichletDeterministic(t *testing.T) {
+	d := tinySet(t, 200, 6, 11)
+	for _, alpha := range []float64{0.1, 1, 5} {
+		a, err := PartitionDirichlet(d, 4, alpha, rand.New(rand.NewSource(42)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := PartitionDirichlet(d, 4, alpha, rand.New(rand.NewSource(42)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range a {
+			if a[i].Len() != b[i].Len() {
+				t.Fatalf("alpha %g: partition %d sizes differ: %d vs %d", alpha, i, a[i].Len(), b[i].Len())
+			}
+			for j := range a[i].Y {
+				if a[i].Y[j] != b[i].Y[j] {
+					t.Fatalf("alpha %g: partition %d row %d differs", alpha, i, j)
+				}
+			}
+			if !bytes.Equal(float64Bytes(a[i].X.Data()), float64Bytes(b[i].X.Data())) {
+				t.Fatalf("alpha %g: partition %d pixels differ", alpha, i)
+			}
+		}
+		// A distinct seed must produce a different split (overwhelmingly).
+		c, err := PartitionDirichlet(d, 4, alpha, rand.New(rand.NewSource(43)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		same := true
+		for i := range a {
+			if a[i].Len() != c[i].Len() {
+				same = false
+				break
+			}
+			for j := range a[i].Y {
+				if a[i].Y[j] != c[i].Y[j] {
+					same = false
+					break
+				}
+			}
+		}
+		if same {
+			t.Errorf("alpha %g: seeds 42 and 43 produced identical splits", alpha)
+		}
+	}
+}
+
+// Shrinking alpha must increase label skew: compare the mean LabelSkew over
+// several seeds at alpha=10 (near IID) vs alpha=0.05 (heavily concentrated).
+func TestPartitionDirichletSkewGrowsAsAlphaShrinks(t *testing.T) {
+	d := tinySet(t, 400, 8, 3)
+	mean := func(alpha float64) float64 {
+		var total float64
+		const runs = 8
+		for s := int64(0); s < runs; s++ {
+			parts, err := PartitionDirichlet(d, 5, alpha, rand.New(rand.NewSource(100+s)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			total += LabelSkew(d, parts)
+		}
+		return total / runs
+	}
+	wide := mean(10)
+	narrow := mean(0.05)
+	if narrow <= wide {
+		t.Errorf("skew did not grow as alpha shrank: alpha=0.05 → %.4f, alpha=10 → %.4f", narrow, wide)
+	}
+	// And the gap should be substantial, not noise.
+	if narrow < wide+0.1 {
+		t.Errorf("skew gap too small: alpha=0.05 → %.4f, alpha=10 → %.4f", narrow, wide)
+	}
+}
+
+func TestPartitionDirichletErrors(t *testing.T) {
+	d := tinySet(t, 20, 3, 1)
+	if _, err := PartitionDirichlet(d, 0, 1, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("zero parts accepted")
+	}
+	if _, err := PartitionDirichlet(d, 3, 0, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("alpha 0 accepted")
+	}
+	if _, err := PartitionDirichlet(d, 3, -1, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("negative alpha accepted")
+	}
+	if _, err := PartitionDirichlet(d, 30, 1, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("more parts than samples accepted")
+	}
+}
+
+func TestRowsOfClass(t *testing.T) {
+	d := tinySet(t, 50, 4, 9)
+	for c := 0; c < d.Classes; c++ {
+		rows := d.RowsOfClass(c)
+		for i, r := range rows {
+			if d.Y[r] != c {
+				t.Fatalf("class %d: row %d has label %d", c, r, d.Y[r])
+			}
+			if i > 0 && rows[i-1] >= r {
+				t.Fatalf("class %d: rows not ascending: %v", c, rows)
+			}
+		}
+		if len(rows) != d.ClassCounts()[c] {
+			t.Errorf("class %d: %d rows, histogram says %d", c, len(rows), d.ClassCounts()[c])
+		}
+	}
+}
+
+// float64Bytes views a float slice as raw bytes for exact comparison.
+func float64Bytes(v []float64) []byte {
+	out := make([]byte, 8*len(v))
+	for i, f := range v {
+		binary.LittleEndian.PutUint64(out[i*8:], math.Float64bits(f))
+	}
+	return out
 }

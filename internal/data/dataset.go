@@ -144,6 +144,17 @@ func (d *Dataset) LabelsFor(idx []int) []int {
 	return out
 }
 
+// RowsOfClass returns the (ascending) indices of all rows labelled class.
+func (d *Dataset) RowsOfClass(class int) []int {
+	var out []int
+	for i, y := range d.Y {
+		if y == class {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
 // ClassCounts returns a histogram of labels.
 func (d *Dataset) ClassCounts() []int {
 	counts := make([]int, d.Classes)

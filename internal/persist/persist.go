@@ -37,14 +37,29 @@ type Checkpoint struct {
 	Checksum uint64
 }
 
-// checksum hashes the architecture string and state bits.
+// checksumChunk bounds the scratch buffer checksum serializes state floats
+// into: 1024 floats = 8 KiB per hash pass.
+const checksumChunk = 1024
+
+// checksum hashes the architecture string and state bits. The state is
+// serialized chunk-wise into one reused buffer so the hash ingests 8 KiB per
+// Write instead of 8 bytes per float (the byte stream — and therefore the
+// hash value — is unchanged from the per-float version).
 func checksum(arch string, state []float64) uint64 {
 	h := fnv.New64a()
 	_, _ = h.Write([]byte(arch))
-	var buf [8]byte
-	for _, v := range state {
-		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
-		_, _ = h.Write(buf[:])
+	buf := make([]byte, 0, checksumChunk*8)
+	for len(state) > 0 {
+		n := len(state)
+		if n > checksumChunk {
+			n = checksumChunk
+		}
+		buf = buf[:n*8]
+		for i, v := range state[:n] {
+			binary.LittleEndian.PutUint64(buf[i*8:], math.Float64bits(v))
+		}
+		_, _ = h.Write(buf)
+		state = state[n:]
 	}
 	return h.Sum64()
 }

@@ -1,0 +1,52 @@
+package scenario
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// TestExampleSpecsParseAndValidate keeps every committed scenario file
+// loadable: a spec that rots breaks this test, not a CI run hours in.
+func TestExampleSpecsParseAndValidate(t *testing.T) {
+	paths, err := filepath.Glob(filepath.Join("..", "..", "examples", "scenarios", "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) < 3 {
+		t.Fatalf("expected at least 3 example specs, found %d: %v", len(paths), paths)
+	}
+	seen := map[string]bool{}
+	for _, path := range paths {
+		spec, err := Load(path)
+		if err != nil {
+			t.Errorf("%s: %v", path, err)
+			continue
+		}
+		if spec.Name == "" {
+			t.Errorf("%s: spec has no name", path)
+		}
+		if seen[spec.Name] {
+			t.Errorf("%s: duplicate scenario name %q", path, spec.Name)
+		}
+		seen[spec.Name] = true
+		if len(spec.Cells()) == 0 {
+			t.Errorf("%s: empty matrix", path)
+		}
+	}
+
+	// The CI smoke gate needs a genuinely concurrent matrix: at least two
+	// strategies crossed with at least two seeds.
+	smoke, err := Load(filepath.Join("..", "..", "examples", "scenarios", "smoke.json"))
+	if err != nil {
+		t.Fatalf("smoke.json: %v", err)
+	}
+	if len(smoke.Strategies) < 2 {
+		t.Errorf("smoke.json has %d strategies, need ≥2", len(smoke.Strategies))
+	}
+	if len(smoke.SeedList()) < 2 {
+		t.Errorf("smoke.json has %d seeds, need ≥2", len(smoke.SeedList()))
+	}
+	if smoke.Scale != "tiny" {
+		t.Errorf("smoke.json runs at scale %q; keep it tiny so CI stays fast", smoke.Scale)
+	}
+}

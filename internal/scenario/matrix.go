@@ -1,0 +1,101 @@
+package scenario
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Cell is one point of the run matrix: a strategy trained at a seed with a
+// local shard count, over the spec's shared dataset/partition/schedule.
+type Cell struct {
+	// Strategy is the unlearner registry name.
+	Strategy string
+	// Seed drives the cell's data generation, partitioning and model
+	// initialization. Cells sharing a seed see identical data, partitions
+	// and poisoning, which is what makes cross-strategy comparison fair.
+	Seed int64
+	// Shards is τ, the local SISA shard count.
+	Shards int
+	// Index is the cell's position in Spec.Cells() order.
+	Index int
+}
+
+// Cells expands the spec's run matrix in deterministic order:
+// strategy-major, then seed, then shard count.
+func (s Spec) Cells() []Cell {
+	seeds := s.SeedList()
+	shards := s.ShardList()
+	out := make([]Cell, 0, len(s.Strategies)*len(seeds)*len(shards))
+	for _, strat := range s.Strategies {
+		for _, seed := range seeds {
+			for _, sh := range shards {
+				out = append(out, Cell{Strategy: strat, Seed: seed, Shards: sh, Index: len(out)})
+			}
+		}
+	}
+	return out
+}
+
+// Outcome is one executed cell: the metrics row for the report plus the
+// final global state vector kept aside for cross-cell model comparison.
+type Outcome struct {
+	// Result is the cell's report row (Strategy/Seed/Shards are filled in
+	// by Execute).
+	Result CellResult
+	// State is the final global model state, nil when the cell failed.
+	State []float64
+}
+
+// Runner executes one cell. It must be safe for concurrent invocation and
+// derive all randomness from the cell's seed, so the matrix is deterministic
+// regardless of scheduling.
+type Runner func(ctx context.Context, cell Cell) (Outcome, error)
+
+// Execute runs every cell of the spec's matrix concurrently on a worker
+// pool bounded by Spec.Workers (default GOMAXPROCS), returning outcomes in
+// Cells() order. A cell failure is recorded in its outcome's Error rather
+// than aborting the matrix; ctx cancellation stops scheduling new cells and
+// is returned once started cells finish.
+func Execute(ctx context.Context, spec Spec, run Runner) ([]Outcome, error) {
+	if run == nil {
+		return nil, fmt.Errorf("scenario: nil runner")
+	}
+	cells := spec.Cells()
+	workers := spec.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(cells) {
+		workers = len(cells)
+	}
+	out := make([]Outcome, len(cells))
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for _, c := range cells {
+		wg.Add(1)
+		go func(c Cell) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			var o Outcome
+			if err := ctx.Err(); err != nil {
+				o.Result.Error = err.Error()
+			} else if res, err := run(ctx, c); err != nil {
+				o = res
+				o.Result.Error = err.Error()
+				o.State = nil
+			} else {
+				o = res
+			}
+			o.Result.Strategy, o.Result.Seed, o.Result.Shards = c.Strategy, c.Seed, c.Shards
+			out[c.Index] = o
+		}(c)
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return out, fmt.Errorf("scenario: %w", err)
+	}
+	return out, nil
+}

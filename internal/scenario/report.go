@@ -1,0 +1,228 @@
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// RetrainReference is the strategy name used as the comparison reference for
+// model-similarity metrics: when a spec's strategy axis includes it, every
+// other strategy's cell is compared against the retrain cell of the same
+// seed and shard count.
+const RetrainReference = "retrain"
+
+// Comparison holds model-similarity statistics of a cell's final model
+// against the retrain reference of the same seed and shard count (paper
+// Tables VII–IX).
+type Comparison struct {
+	// JSD is the mean per-sample Jensen–Shannon divergence.
+	JSD float64 `json:"jsd"`
+	// L2 is the mean per-sample Euclidean distance of probability vectors.
+	L2 float64 `json:"l2"`
+	// T and P are the Welch t-test statistic and p-value over prediction
+	// confidences.
+	T float64 `json:"t_stat"`
+	P float64 `json:"p_value"`
+}
+
+// CellResult is one row of the report.
+type CellResult struct {
+	Strategy string `json:"strategy"`
+	Seed     int64  `json:"seed"`
+	Shards   int    `json:"shards"`
+	// Rounds is the number of federation rounds the cell ran.
+	Rounds int `json:"rounds"`
+	// RemovedRows counts samples deleted by the schedule; RemovedClients
+	// counts client-level departures.
+	RemovedRows    int `json:"removed_rows"`
+	RemovedClients int `json:"removed_clients,omitempty"`
+	// Accuracy is final test accuracy. PreDeletionAccuracy snapshots it just
+	// before the first deletion request (nil without a schedule).
+	Accuracy            float64  `json:"accuracy"`
+	PreDeletionAccuracy *float64 `json:"pre_deletion_accuracy,omitempty"`
+	// ASR is the backdoor attack success rate (nil without an attack);
+	// PreDeletionASR snapshots it before the first deletion.
+	ASR            *float64 `json:"attack_success_rate,omitempty"`
+	PreDeletionASR *float64 `json:"pre_deletion_attack_success_rate,omitempty"`
+	// MembershipGap is the confidence-based membership signal on the forget
+	// set (nil when nothing was deleted).
+	MembershipGap *float64 `json:"membership_gap,omitempty"`
+	// VsRetrain compares the cell's final model against the retrain
+	// reference cell of the same seed and shard count.
+	VsRetrain *Comparison `json:"vs_retrain,omitempty"`
+	// Error records a failed cell; all metric fields are zero then.
+	Error string `json:"error,omitempty"`
+}
+
+// Report is the structured outcome of a scenario run. For a fixed Spec the
+// report is deterministic — cells are ordered by the matrix expansion and
+// carry no wall-clock state — so two runs marshal to identical bytes.
+type Report struct {
+	Name  string       `json:"name"`
+	Spec  Spec         `json:"spec"`
+	Cells []CellResult `json:"cells"`
+}
+
+// CompareFunc compares a cell's final state against the retrain reference
+// state of the same seed and shard count, over the cell's probe data.
+type CompareFunc func(cell Cell, state, ref []float64) (*Comparison, error)
+
+// Assemble builds the report from executed outcomes: it fills the VsRetrain
+// comparison for every non-reference cell whose retrain counterpart
+// succeeded (when the strategy axis includes "retrain" and compare is
+// non-nil) and returns the cells in matrix order.
+func Assemble(spec Spec, outcomes []Outcome, compare CompareFunc) (*Report, error) {
+	cells := spec.Cells()
+	if len(outcomes) != len(cells) {
+		return nil, fmt.Errorf("scenario: %d outcomes for %d cells", len(outcomes), len(cells))
+	}
+	// Canonicalize execution knobs out of the embedded spec: the worker
+	// bound affects scheduling only, and reports must be byte-identical at
+	// any parallelism.
+	spec.Workers = 0
+	hasRef := false
+	for _, s := range spec.Strategies {
+		if s == RetrainReference {
+			hasRef = true
+		}
+	}
+	// Index retrain outcomes by (seed, shards).
+	type key struct {
+		seed   int64
+		shards int
+	}
+	refs := map[key]int{}
+	if hasRef {
+		for _, c := range cells {
+			if c.Strategy == RetrainReference {
+				refs[key{c.Seed, c.Shards}] = c.Index
+			}
+		}
+	}
+	rows := make([]CellResult, len(cells))
+	for _, c := range cells {
+		o := outcomes[c.Index]
+		row := o.Result
+		// Label the row from the matrix itself; outcomes are positional.
+		row.Strategy, row.Seed, row.Shards = c.Strategy, c.Seed, c.Shards
+		if hasRef && compare != nil && c.Strategy != RetrainReference && row.Error == "" && o.State != nil {
+			if ri, ok := refs[key{c.Seed, c.Shards}]; ok && outcomes[ri].State != nil {
+				cmp, err := compare(c, o.State, outcomes[ri].State)
+				if err != nil {
+					row.Error = fmt.Sprintf("comparing against retrain: %v", err)
+				} else {
+					row.VsRetrain = cmp
+				}
+			}
+		}
+		rows[c.Index] = row
+	}
+	return &Report{Name: spec.Name, Spec: spec, Cells: rows}, nil
+}
+
+// Complete verifies the report covers the spec's full matrix with no failed
+// cells, returning a descriptive error otherwise. CI gates on this.
+func (r *Report) Complete() error {
+	cells := r.Spec.Cells()
+	if len(r.Cells) != len(cells) {
+		return fmt.Errorf("scenario: report has %d cells, matrix has %d", len(r.Cells), len(cells))
+	}
+	for i, c := range cells {
+		row := r.Cells[i]
+		if row.Strategy != c.Strategy || row.Seed != c.Seed || row.Shards != c.Shards {
+			return fmt.Errorf("scenario: cell %d is %s/seed %d/τ=%d, want %s/seed %d/τ=%d",
+				i, row.Strategy, row.Seed, row.Shards, c.Strategy, c.Seed, c.Shards)
+		}
+		if row.Error != "" {
+			return fmt.Errorf("scenario: cell %s/seed %d/τ=%d failed: %s",
+				row.Strategy, row.Seed, row.Shards, row.Error)
+		}
+	}
+	return nil
+}
+
+// MarshalIndent renders the report as deterministic, indented JSON.
+func (r *Report) MarshalIndent() ([]byte, error) {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("scenario: encoding report: %w", err)
+	}
+	return append(b, '\n'), nil
+}
+
+// WriteJSON writes the report to path.
+func (r *Report) WriteJSON(path string) error {
+	b, err := r.MarshalIndent()
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		return fmt.Errorf("scenario: %w", err)
+	}
+	return nil
+}
+
+// RenderText writes a human-readable summary table of the matrix.
+func (r *Report) RenderText(w io.Writer) {
+	fmt.Fprintf(w, "=== scenario %s — %s (%d cells) ===\n", r.Name, r.Spec.Dataset, len(r.Cells))
+	cols := []string{"strategy", "seed", "tau", "rounds", "removed", "acc", "asr", "memgap", "jsd-vs-retrain", "error"}
+	rows := make([][]string, 0, len(r.Cells))
+	opt := func(v *float64) string {
+		if v == nil {
+			return "-"
+		}
+		return fmt.Sprintf("%.4f", *v)
+	}
+	for _, c := range r.Cells {
+		removed := fmt.Sprintf("%d", c.RemovedRows)
+		if c.RemovedClients > 0 {
+			removed += fmt.Sprintf("+%dcl", c.RemovedClients)
+		}
+		jsd := "-"
+		if c.VsRetrain != nil {
+			jsd = fmt.Sprintf("%.4f", c.VsRetrain.JSD)
+		}
+		rows = append(rows, []string{
+			c.Strategy,
+			fmt.Sprintf("%d", c.Seed),
+			fmt.Sprintf("%d", c.Shards),
+			fmt.Sprintf("%d", c.Rounds),
+			removed,
+			fmt.Sprintf("%.4f", c.Accuracy),
+			opt(c.ASR),
+			opt(c.MembershipGap),
+			jsd,
+			c.Error,
+		})
+	}
+	widths := make([]int, len(cols))
+	for i, c := range cols {
+		widths[i] = len(c)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+		}
+		fmt.Fprintf(w, "  %s\n", strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(cols)
+	sep := make([]string, len(cols))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range rows {
+		line(row)
+	}
+}

@@ -1,0 +1,373 @@
+package scenario
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func validSpec() Spec {
+	return Spec{
+		Name:       "t",
+		Dataset:    "mnist",
+		Scale:      "tiny",
+		Rounds:     4,
+		Strategies: []string{"goldfish", "retrain"},
+		Seeds:      []int64{1, 2},
+	}
+}
+
+func TestSpecValidate(t *testing.T) {
+	if err := validSpec().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name   string
+		mutate func(*Spec)
+	}{
+		{"no dataset", func(s *Spec) { s.Dataset = "" }},
+		{"bad scale", func(s *Spec) { s.Scale = "huge" }},
+		{"no strategies", func(s *Spec) { s.Strategies = nil }},
+		{"empty strategy", func(s *Spec) { s.Strategies = []string{""} }},
+		{"dup strategy", func(s *Spec) { s.Strategies = []string{"goldfish", "goldfish"} }},
+		{"seed zero", func(s *Spec) { s.Seeds = []int64{0} }},
+		{"dup seed", func(s *Spec) { s.Seeds = []int64{3, 3} }},
+		{"seeds and reps", func(s *Spec) { s.Repetitions = 2 }},
+		{"neg reps", func(s *Spec) { s.Seeds = nil; s.Repetitions = -1 }},
+		{"zero shard", func(s *Spec) { s.Shards = []int{0} }},
+		{"dup shard", func(s *Spec) { s.Shards = []int{2, 2} }},
+		{"neg clients", func(s *Spec) { s.Clients = -1 }},
+		{"neg rounds", func(s *Spec) { s.Rounds = -1 }},
+		{"neg workers", func(s *Spec) { s.Workers = -1 }},
+		{"bad partitioner", func(s *Spec) { s.Partition = &PartitionSpec{Type: "sorted"} }},
+		{"het skew", func(s *Spec) { s.Partition = &PartitionSpec{Type: PartitionHeterogeneous, Skew: 2} }},
+		{"dirichlet alpha", func(s *Spec) { s.Partition = &PartitionSpec{Type: PartitionDirichlet} }},
+		{"bad attack type", func(s *Spec) { s.Attack = &AttackSpec{Type: "label-flip", Fraction: 0.1} }},
+		{"attack fraction", func(s *Spec) { s.Attack = &AttackSpec{Type: "backdoor", Fraction: 0} }},
+		{"neg attack client", func(s *Spec) { s.Attack = &AttackSpec{Type: "backdoor", Fraction: 0.1, Client: -1} }},
+		{"schedule neg round", func(s *Spec) {
+			s.Schedule = []DeletionSpec{{Round: -1, Type: DeleteSample, Rows: []int{0}}}
+		}},
+		{"schedule beyond budget", func(s *Spec) {
+			s.Schedule = []DeletionSpec{{Round: 9, Type: DeleteSample, Rows: []int{0}}}
+		}},
+		{"schedule bad type", func(s *Spec) { s.Schedule = []DeletionSpec{{Round: 1, Type: "tensor"}} }},
+		{"sample no rows", func(s *Spec) { s.Schedule = []DeletionSpec{{Round: 1, Type: DeleteSample}} }},
+		{"sample neg row", func(s *Spec) {
+			s.Schedule = []DeletionSpec{{Round: 1, Type: DeleteSample, Rows: []int{-1}}}
+		}},
+		{"sample bad target", func(s *Spec) {
+			s.Schedule = []DeletionSpec{{Round: 1, Type: DeleteSample, Target: "everything"}}
+		}},
+		{"poisoned without attack", func(s *Spec) {
+			s.Schedule = []DeletionSpec{{Round: 1, Type: DeleteSample, Target: TargetPoisoned}}
+		}},
+		{"poisoned wrong client", func(s *Spec) {
+			s.Attack = &AttackSpec{Type: "backdoor", Client: 0, Fraction: 0.1}
+			s.Schedule = []DeletionSpec{{Round: 1, Type: DeleteSample, Client: 1, Target: TargetPoisoned}}
+		}},
+		{"random bad fraction", func(s *Spec) {
+			s.Schedule = []DeletionSpec{{Round: 1, Type: DeleteSample, Target: TargetRandom, Fraction: 1.5}}
+		}},
+		{"class negative", func(s *Spec) { s.Schedule = []DeletionSpec{{Round: 1, Type: DeleteClass, Class: -1}} }},
+		{"client negative", func(s *Spec) { s.Schedule = []DeletionSpec{{Round: 1, Type: DeleteClient, Client: -1}} }},
+		{"unsorted schedule", func(s *Spec) {
+			s.Schedule = []DeletionSpec{
+				{Round: 3, Type: DeleteClass, Class: 1},
+				{Round: 1, Type: DeleteClass, Class: 2},
+			}
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := validSpec()
+			tc.mutate(&s)
+			if err := s.Validate(); err == nil {
+				t.Errorf("%s: invalid spec accepted", tc.name)
+			}
+		})
+	}
+}
+
+func TestParseRejectsUnknownFields(t *testing.T) {
+	if _, err := Parse([]byte(`{"dataset":"mnist","strategies":["goldfish"],"sheds":[1]}`)); err == nil {
+		t.Error("unknown field accepted")
+	}
+	if _, err := Parse([]byte(`{"dataset":"mnist"`)); err == nil {
+		t.Error("truncated JSON accepted")
+	}
+	s, err := Parse([]byte(`{"dataset":"mnist","strategies":["goldfish"]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.SeedList(); len(got) != 1 || got[0] != 1 {
+		t.Errorf("default SeedList = %v, want [1]", got)
+	}
+	if got := s.ShardList(); len(got) != 1 || got[0] != 1 {
+		t.Errorf("default ShardList = %v, want [1]", got)
+	}
+}
+
+func TestSeedListRepetitions(t *testing.T) {
+	s := Spec{Repetitions: 3}
+	if got := s.SeedList(); len(got) != 3 || got[0] != 1 || got[2] != 3 {
+		t.Errorf("SeedList = %v, want [1 2 3]", got)
+	}
+}
+
+func TestCellsOrderAndIndex(t *testing.T) {
+	s := validSpec()
+	s.Shards = []int{1, 4}
+	cells := s.Cells()
+	if len(cells) != 2*2*2 {
+		t.Fatalf("len(cells) = %d, want 8", len(cells))
+	}
+	want := []Cell{
+		{"goldfish", 1, 1, 0}, {"goldfish", 1, 4, 1}, {"goldfish", 2, 1, 2}, {"goldfish", 2, 4, 3},
+		{"retrain", 1, 1, 4}, {"retrain", 1, 4, 5}, {"retrain", 2, 1, 6}, {"retrain", 2, 4, 7},
+	}
+	for i, c := range cells {
+		if c != want[i] {
+			t.Errorf("cells[%d] = %+v, want %+v", i, c, want[i])
+		}
+	}
+}
+
+func TestExecuteRunsAllCellsBounded(t *testing.T) {
+	s := validSpec()
+	s.Workers = 2
+	var inFlight, peak int32
+	outcomes, err := Execute(context.Background(), s, func(ctx context.Context, c Cell) (Outcome, error) {
+		cur := atomic.AddInt32(&inFlight, 1)
+		defer atomic.AddInt32(&inFlight, -1)
+		for {
+			p := atomic.LoadInt32(&peak)
+			if cur <= p || atomic.CompareAndSwapInt32(&peak, p, cur) {
+				break
+			}
+		}
+		var o Outcome
+		o.Result.Accuracy = float64(c.Seed)
+		o.State = []float64{1}
+		return o, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outcomes) != 4 {
+		t.Fatalf("got %d outcomes", len(outcomes))
+	}
+	for i, c := range s.Cells() {
+		r := outcomes[i].Result
+		if r.Strategy != c.Strategy || r.Seed != c.Seed || r.Shards != c.Shards {
+			t.Errorf("outcome %d labelled %s/%d/%d, want %s/%d/%d",
+				i, r.Strategy, r.Seed, r.Shards, c.Strategy, c.Seed, c.Shards)
+		}
+		if r.Accuracy != float64(c.Seed) {
+			t.Errorf("outcome %d accuracy %g, want %g", i, r.Accuracy, float64(c.Seed))
+		}
+	}
+	if peak > 2 {
+		t.Errorf("worker pool peaked at %d concurrent cells, bound is 2", peak)
+	}
+}
+
+func TestExecuteRecordsCellErrors(t *testing.T) {
+	s := validSpec()
+	outcomes, err := Execute(context.Background(), s, func(ctx context.Context, c Cell) (Outcome, error) {
+		if c.Strategy == "retrain" {
+			var o Outcome
+			o.State = []float64{1} // must be dropped on error
+			return o, errors.New("boom")
+		}
+		return Outcome{State: []float64{2}}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range s.Cells() {
+		o := outcomes[i]
+		if c.Strategy == "retrain" {
+			if o.Result.Error != "boom" {
+				t.Errorf("cell %d error = %q, want boom", i, o.Result.Error)
+			}
+			if o.State != nil {
+				t.Errorf("cell %d kept state despite error", i)
+			}
+		} else if o.Result.Error != "" {
+			t.Errorf("cell %d unexpected error %q", i, o.Result.Error)
+		}
+	}
+	rep, err := Assemble(s, outcomes, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.Complete(); err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Errorf("Complete() = %v, want the failed cell surfaced", err)
+	}
+}
+
+func TestExecuteHonoursCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	s := validSpec()
+	if _, err := Execute(ctx, s, func(ctx context.Context, c Cell) (Outcome, error) {
+		return Outcome{}, nil
+	}); err == nil {
+		t.Error("cancelled Execute returned nil error")
+	}
+}
+
+func TestAssembleComparesAgainstRetrain(t *testing.T) {
+	s := validSpec() // strategies: goldfish, retrain; seeds 1,2
+	cells := s.Cells()
+	outcomes := make([]Outcome, len(cells))
+	for i, c := range cells {
+		outcomes[i] = Outcome{State: []float64{float64(c.Seed)}}
+	}
+	var mu sync.Mutex
+	compared := map[string]bool{}
+	rep, err := Assemble(s, outcomes, func(cell Cell, state, ref []float64) (*Comparison, error) {
+		if state[0] != ref[0] {
+			return nil, fmt.Errorf("seed mismatch: state %g vs ref %g", state[0], ref[0])
+		}
+		mu.Lock()
+		compared[fmt.Sprintf("%s/%d", cell.Strategy, cell.Seed)] = true
+		mu.Unlock()
+		return &Comparison{JSD: 0.5}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.Complete(); err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range cells {
+		row := rep.Cells[i]
+		if c.Strategy == RetrainReference {
+			if row.VsRetrain != nil {
+				t.Errorf("retrain cell %d compared against itself", i)
+			}
+		} else if row.VsRetrain == nil || row.VsRetrain.JSD != 0.5 {
+			t.Errorf("cell %d missing comparison: %+v", i, row.VsRetrain)
+		}
+	}
+	if len(compared) != 2 {
+		t.Errorf("compared cells: %v, want both goldfish seeds", compared)
+	}
+	// Without a retrain strategy on the axis, no comparisons happen.
+	s2 := validSpec()
+	s2.Strategies = []string{"goldfish", "fisher"}
+	outcomes2 := make([]Outcome, len(s2.Cells()))
+	for i := range outcomes2 {
+		outcomes2[i] = Outcome{State: []float64{1}}
+	}
+	rep2, err := Assemble(s2, outcomes2, func(Cell, []float64, []float64) (*Comparison, error) {
+		t.Error("compare called without a retrain reference")
+		return nil, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, row := range rep2.Cells {
+		if row.VsRetrain != nil {
+			t.Errorf("cell %d compared without reference", i)
+		}
+	}
+}
+
+func TestCompleteDetectsMissingCells(t *testing.T) {
+	s := validSpec()
+	rep := &Report{Name: s.Name, Spec: s, Cells: nil}
+	if err := rep.Complete(); err == nil {
+		t.Error("empty report passed Complete")
+	}
+	outcomes := make([]Outcome, len(s.Cells()))
+	full, err := Assemble(s, outcomes, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := full.Complete(); err != nil {
+		t.Fatal(err)
+	}
+	// A swapped row is a mislabelled matrix, not a complete one.
+	full.Cells[0], full.Cells[1] = full.Cells[1], full.Cells[0]
+	if err := full.Complete(); err == nil {
+		t.Error("mislabelled report passed Complete")
+	}
+}
+
+func TestReportJSONDeterministic(t *testing.T) {
+	s := validSpec()
+	outcomes := make([]Outcome, len(s.Cells()))
+	for i := range outcomes {
+		asr := 0.25
+		outcomes[i].Result.Accuracy = 0.5
+		outcomes[i].Result.ASR = &asr
+	}
+	rep, err := Assemble(s, outcomes, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := rep.MarshalIndent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := rep.MarshalIndent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Error("report marshalling is not deterministic")
+	}
+	var sb strings.Builder
+	rep.RenderText(&sb)
+	if !strings.Contains(sb.String(), "goldfish") || !strings.Contains(sb.String(), "retrain") {
+		t.Errorf("RenderText missing strategies:\n%s", sb.String())
+	}
+}
+
+func TestParseRejectsTrailingData(t *testing.T) {
+	if _, err := Parse([]byte(`{"dataset":"mnist","strategies":["goldfish"]}{"dataset":"x"}`)); err == nil {
+		t.Error("concatenated spec objects accepted")
+	}
+	if _, err := Parse([]byte(`{"dataset":"mnist","strategies":["goldfish"]} junk`)); err == nil {
+		t.Error("trailing garbage accepted")
+	}
+	if _, err := Parse([]byte("{\"dataset\":\"mnist\",\"strategies\":[\"goldfish\"]}\n\n")); err != nil {
+		t.Errorf("trailing whitespace rejected: %v", err)
+	}
+}
+
+func TestAssembleCanonicalizesWorkers(t *testing.T) {
+	s := validSpec()
+	outcomes := make([]Outcome, len(s.Cells()))
+	s.Workers = 2
+	a, err := Assemble(s, outcomes, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Workers = 8
+	b, err := Assemble(s, outcomes, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aj, err := a.MarshalIndent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bj, err := b.MarshalIndent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(aj) != string(bj) {
+		t.Error("reports differ across worker bounds; the execution knob leaked into the report")
+	}
+	if a.Spec.Workers != 0 {
+		t.Errorf("embedded spec kept Workers=%d", a.Spec.Workers)
+	}
+}

@@ -298,3 +298,48 @@ func TestShardChoice(t *testing.T) {
 		t.Error("negative weight accepted")
 	}
 }
+
+// Eq. 10 round-trip at the bit level: publish the Eq. 8 aggregate, then
+// recover every shard's weights by subtraction. With power-of-two shard
+// sizes and dyadic parameter values all the arithmetic is exact in float64,
+// so recovery must reproduce each shard's parameters bit for bit — the
+// guarantee that lets a server hand a client back its own shard models from
+// nothing but the published aggregate.
+func TestRecoverShardBitwiseRoundTrip(t *testing.T) {
+	const shards = 4
+	m, err := NewManager(newTemplate(10), 32, shards, rand.New(rand.NewSource(10)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < shards; i++ {
+		if got := len(m.Shard(i).Indices); got != 8 {
+			t.Fatalf("shard %d has %d samples, want 8 (equal power-of-two sizes)", i, got)
+		}
+	}
+	// Dyadic parameters: multiples of 1/16 in [-2, 2]. Every product with the
+	// 1/4 shard weight and every partial sum is exactly representable.
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < shards; i++ {
+		v := make([]float64, m.Shard(i).Model.NumParams())
+		for j := range v {
+			v[j] = float64(rng.Intn(65)-32) / 16
+		}
+		if err := m.SetShardParams(i, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	agg := m.Aggregate()
+	for i := 0; i < shards; i++ {
+		got, err := m.RecoverShard(i, agg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := m.Shard(i).Model.ParamVector()
+		for j := range want {
+			if math.Float64bits(got[j]) != math.Float64bits(want[j]) {
+				t.Fatalf("shard %d param %d: recovered %x (%g), stored %x (%g)",
+					i, j, math.Float64bits(got[j]), got[j], math.Float64bits(want[j]), want[j])
+			}
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 
 	"goldfish/internal/baselines"
 	"goldfish/internal/core"
+	"goldfish/internal/data"
 	"goldfish/internal/fed"
 )
 
@@ -32,9 +33,13 @@ type retrainStrategy struct {
 	sc       baselines.Scenario
 	trainers []*baselines.PlainTrainer
 	reinits  int64
+	nextID   int
 }
 
-var _ Strategy = (*retrainStrategy)(nil)
+var (
+	_ Strategy   = (*retrainStrategy)(nil)
+	_ Membership = (*retrainStrategy)(nil)
+)
 
 // Name implements Strategy.
 func (r *retrainStrategy) Name() string { return r.name }
@@ -52,7 +57,46 @@ func (r *retrainStrategy) Setup(env Env) ([]fed.LocalTrainer, error) {
 		r.trainers[i] = t
 		trainers[i] = t
 	}
+	r.nextID = len(r.trainers)
 	return trainers, nil
+}
+
+// AddTrainer implements Membership: the new participant joins from the next
+// round onward.
+func (r *retrainStrategy) AddTrainer(ds *data.Dataset) (fed.LocalTrainer, int, error) {
+	id := r.nextID
+	t, err := baselines.NewPlainTrainer(id, r.sc, ds, r.precond)
+	if err != nil {
+		return nil, 0, err
+	}
+	r.trainers = append(r.trainers, t)
+	r.nextID++
+	return t, id, nil
+}
+
+// RemoveTrainer implements Membership. A departure with unlearnDeparted set
+// follows the B1 reference semantics for client-level unlearning: every
+// remaining client resets its optimizer (and Fisher) state and federated
+// training restarts from a freshly initialized global model over the data
+// that remains — a from-scratch retrain without the departed client.
+func (r *retrainStrategy) RemoveTrainer(i int, unlearnDeparted bool) ([]float64, error) {
+	if i < 0 || i >= len(r.trainers) {
+		return nil, fmt.Errorf("unlearn: client %d out of range [0,%d)", i, len(r.trainers))
+	}
+	if len(r.trainers) == 1 {
+		return nil, fmt.Errorf("unlearn: cannot remove the last client")
+	}
+	r.trainers = append(r.trainers[:i], r.trainers[i+1:]...)
+	if !unlearnDeparted {
+		return nil, nil
+	}
+	for _, t := range r.trainers {
+		if err := t.Reset(); err != nil {
+			return nil, err
+		}
+	}
+	r.reinits++
+	return baselines.ReinitVector(r.sc, r.reinits*7919)
 }
 
 // Forget implements Strategy: drop the rows, reset every client's

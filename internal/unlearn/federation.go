@@ -3,6 +3,7 @@ package unlearn
 import (
 	"context"
 	"fmt"
+	"sort"
 	"time"
 
 	"goldfish/internal/core"
@@ -72,6 +73,14 @@ type Federation struct {
 	evalNet        *nn.Network
 	onRound        func(RoundStats)
 	pendingUnlearn bool
+
+	// parts holds each participant's ORIGINAL local dataset (by current
+	// position; shifted on Add/RemoveClient), and removed records which
+	// original rows each participant has already deleted. Together they let
+	// RequestDeletionRows and RequestClassDeletion address rows against the
+	// original dataset regardless of the strategy's own row addressing.
+	parts   []*data.Dataset
+	removed []map[int]bool
 }
 
 // buildModel constructs a network, wrapping errors with package context.
@@ -115,7 +124,16 @@ func NewFederation(cfg Config, parts []*data.Dataset) (*Federation, error) {
 		return nil, err
 	}
 
-	f := &Federation{cfg: cfg, strategy: cfg.Unlearner, evalNet: evalNet}
+	f := &Federation{
+		cfg:      cfg,
+		strategy: cfg.Unlearner,
+		evalNet:  evalNet,
+		parts:    append([]*data.Dataset(nil), parts...),
+		removed:  make([]map[int]bool, len(parts)),
+	}
+	for i := range f.removed {
+		f.removed[i] = map[int]bool{}
+	}
 
 	var scorer fed.Scorer
 	if _, adaptive := cfg.Aggregator.(fed.AdaptiveWeight); adaptive && cfg.ServerTest != nil {
@@ -210,6 +228,130 @@ func (f *Federation) RequestDeletion(clientID int, rows []int) error {
 	return nil
 }
 
+// RequestDeletionRows submits a deletion request whose rows index the
+// client's ORIGINAL dataset, independent of the strategy's own addressing:
+// the Federation tracks prior removals per participant and remaps to the
+// current post-removal view for strategies that index it (the baselines).
+// Rows already removed by an earlier request are rejected, mirroring the
+// Goldfish client's double-removal check.
+func (f *Federation) RequestDeletionRows(clientID int, rows []int) error {
+	if clientID < 0 || clientID >= len(f.parts) {
+		return fmt.Errorf("unlearn: client %d out of range [0,%d)", clientID, len(f.parts))
+	}
+	if len(rows) == 0 {
+		return fmt.Errorf("unlearn: client %d: empty deletion request", clientID)
+	}
+	part, rem := f.parts[clientID], f.removed[clientID]
+	uniq := make([]int, 0, len(rows))
+	seen := make(map[int]bool, len(rows))
+	for _, r := range rows {
+		if r < 0 || r >= part.Len() {
+			return fmt.Errorf("unlearn: client %d: row %d out of range [0,%d)", clientID, r, part.Len())
+		}
+		if rem[r] {
+			return fmt.Errorf("unlearn: client %d: row %d already removed", clientID, r)
+		}
+		if !seen[r] {
+			seen[r] = true
+			uniq = append(uniq, r)
+		}
+	}
+	sort.Ints(uniq)
+
+	mapped := uniq
+	if ra, ok := f.strategy.(RowAddresser); !ok || !ra.AddressesOriginalRows() {
+		// Current-view index of original row r: r minus the number of
+		// already-removed original rows before it.
+		removedSorted := make([]int, 0, len(rem))
+		for r := range rem {
+			removedSorted = append(removedSorted, r)
+		}
+		sort.Ints(removedSorted)
+		mapped = make([]int, len(uniq))
+		for i, r := range uniq {
+			shift := sort.SearchInts(removedSorted, r)
+			mapped[i] = r - shift
+		}
+	}
+	if err := f.RequestDeletion(clientID, mapped); err != nil {
+		return err
+	}
+	for _, r := range uniq {
+		rem[r] = true
+	}
+	return nil
+}
+
+// RemainingRows returns the not-yet-removed original row indices of
+// participant clientID's dataset, in ascending order.
+func (f *Federation) RemainingRows(clientID int) []int {
+	if clientID < 0 || clientID >= len(f.parts) {
+		return nil
+	}
+	rem := f.removed[clientID]
+	out := make([]int, 0, f.parts[clientID].Len()-len(rem))
+	for r := 0; r < f.parts[clientID].Len(); r++ {
+		if !rem[r] {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// RemainingRowsOfClass returns the not-yet-removed original row indices of a
+// participant's samples labelled class, in ascending order.
+func (f *Federation) RemainingRowsOfClass(clientID, class int) []int {
+	if clientID < 0 || clientID >= len(f.parts) {
+		return nil
+	}
+	rem := f.removed[clientID]
+	var out []int
+	for _, r := range f.parts[clientID].RowsOfClass(class) {
+		if !rem[r] {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// RequestClassDeletion submits a class-level deletion: every remaining
+// sample labelled class, across all participants, is requested for removal
+// (one Forget per affected participant, in participant order). It returns
+// the removed original row indices per participant position; at least one
+// sample must remain to remove or an error is returned.
+func (f *Federation) RequestClassDeletion(class int) (map[int][]int, error) {
+	if len(f.parts) == 0 {
+		return nil, fmt.Errorf("unlearn: no participants")
+	}
+	if class < 0 || class >= f.parts[0].Classes {
+		return nil, fmt.Errorf("unlearn: class %d out of range [0,%d)", class, f.parts[0].Classes)
+	}
+	out := map[int][]int{}
+	for i := range f.parts {
+		rows := f.RemainingRowsOfClass(i, class)
+		if len(rows) == 0 {
+			continue
+		}
+		if err := f.RequestDeletionRows(i, rows); err != nil {
+			return out, fmt.Errorf("unlearn: class %d on client %d: %w", class, i, err)
+		}
+		out[i] = rows
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("unlearn: no remaining samples of class %d", class)
+	}
+	return out, nil
+}
+
+// Partition returns participant i's ORIGINAL local dataset (deletions do not
+// shrink it), or nil when i is out of range.
+func (f *Federation) Partition(i int) *data.Dataset {
+	if i < 0 || i >= len(f.parts) {
+		return nil
+	}
+	return f.parts[i]
+}
+
 // AddClient registers a new participant holding the given local dataset and
 // returns its client ID (unique across the federation's lifetime, even
 // after removals). The client joins from the next round onward.
@@ -226,6 +368,8 @@ func (f *Federation) AddClient(ds *data.Dataset) (int, error) {
 		return 0, err
 	}
 	f.local.Append(tr)
+	f.parts = append(f.parts, ds)
+	f.removed = append(f.removed, map[int]bool{})
 	return id, nil
 }
 
@@ -247,6 +391,10 @@ func (f *Federation) RemoveClient(clientID int, unlearn bool) error {
 	}
 	if rerr := f.local.Remove(clientID); rerr != nil {
 		return rerr
+	}
+	if clientID >= 0 && clientID < len(f.parts) {
+		f.parts = append(f.parts[:clientID], f.parts[clientID+1:]...)
+		f.removed = append(f.removed[:clientID], f.removed[clientID+1:]...)
 	}
 	if next != nil {
 		f.engine.SetGlobal(next)

@@ -46,6 +46,17 @@ type Strategy interface {
 	Forget(clientID int, rows []int, global []float64) ([]float64, error)
 }
 
+// RowAddresser is optionally implemented by strategies to declare how
+// Forget interprets deletion row indices. Without it the Federation assumes
+// rows address the client's current (post-removal) dataset view, which is
+// how the retrain and incompetent-teacher baselines index.
+type RowAddresser interface {
+	// AddressesOriginalRows reports whether Forget rows index the client's
+	// original dataset (true, e.g. Goldfish) or its current post-removal
+	// view (false).
+	AddressesOriginalRows() bool
+}
+
 // ClientAccessor is implemented by strategies whose participants are
 // Goldfish clients and can be inspected (shard managers, active row
 // counts).

@@ -428,10 +428,140 @@ func TestBaselineStrategiesRoundTrip(t *testing.T) {
 			if f.Client(0) != nil {
 				t.Errorf("%s: Client(0) should be nil for non-goldfish strategies", name)
 			}
-			// And no dynamic membership.
-			if _, err := f.AddClient(parts[0]); err == nil {
-				t.Errorf("%s: AddClient should be unsupported", name)
+			// Retrain-family baselines support dynamic membership (client-
+			// level unlearning retrains without the departed client); the
+			// incompetent teacher does not.
+			if name == "incompetent-teacher" {
+				if _, err := f.AddClient(parts[0]); err == nil {
+					t.Errorf("%s: AddClient should be unsupported", name)
+				}
+			} else {
+				id, err := f.AddClient(parts[0].Clone())
+				if err != nil {
+					t.Fatalf("%s: AddClient: %v", name, err)
+				}
+				if id != 3 {
+					t.Errorf("%s: AddClient id = %d, want 3", name, id)
+				}
+				if f.NumClients() != 4 {
+					t.Errorf("%s: NumClients = %d, want 4", name, f.NumClients())
+				}
+				if err := f.RemoveClient(3, true); err != nil {
+					t.Fatalf("%s: RemoveClient: %v", name, err)
+				}
+				if err := f.Run(ctx, 1, nil); err != nil {
+					t.Fatalf("%s: round after membership churn: %v", name, err)
+				}
 			}
 		})
+	}
+}
+
+// TestRequestDeletionRowsRemapsForCurrentView exercises the original-row
+// addressing across both addressing families. The retrain baseline indexes
+// the current post-removal view, so a second request against high original
+// indices only succeeds if the federation remapped them; without the remap,
+// original row 9 would be out of range of the 5-row current view.
+func TestRequestDeletionRowsRemapsForCurrentView(t *testing.T) {
+	train, _ := tinyMNIST(t)
+	ctx := context.Background()
+	for _, name := range []string{"retrain", "goldfish"} {
+		t.Run(name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(77))
+			parts, err := data.PartitionIID(train, 3, rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s, err := New(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			f, err := NewFederation(Config{Client: testConfig(10), Unlearner: s}, parts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := f.Run(ctx, 1, nil); err != nil {
+				t.Fatal(err)
+			}
+			last := parts[0].Len() - 1
+			if err := f.RequestDeletionRows(0, []int{0, 1, 2, 3, 4}); err != nil {
+				t.Fatal(err)
+			}
+			if err := f.RequestDeletionRows(0, []int{last, last - 1}); err != nil {
+				t.Fatalf("%s: second original-index request failed: %v", name, err)
+			}
+			// Double removal is rejected for both families.
+			if err := f.RequestDeletionRows(0, []int{2}); err == nil {
+				t.Errorf("%s: double removal accepted", name)
+			}
+			// Out-of-range originals are rejected.
+			if err := f.RequestDeletionRows(0, []int{parts[0].Len()}); err == nil {
+				t.Errorf("%s: out-of-range row accepted", name)
+			}
+			if err := f.RequestDeletionRows(9, []int{0}); err == nil {
+				t.Errorf("%s: out-of-range client accepted", name)
+			}
+			if err := f.Run(ctx, 1, nil); err != nil {
+				t.Fatalf("%s: round after deletions: %v", name, err)
+			}
+		})
+	}
+}
+
+// TestRequestClassDeletion removes an entire class across all participants
+// and verifies the federation's remaining-rows bookkeeping.
+func TestRequestClassDeletion(t *testing.T) {
+	train, _ := tinyMNIST(t)
+	rng := rand.New(rand.NewSource(99))
+	parts, err := data.PartitionIID(train, 3, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := NewFederation(Config{Client: testConfig(10)}, parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const class = 4
+	want := 0
+	for i, p := range parts {
+		n := len(p.RowsOfClass(class))
+		want += n
+		if got := len(f.RemainingRowsOfClass(i, class)); got != n {
+			t.Fatalf("client %d: RemainingRowsOfClass = %d, want %d", i, got, n)
+		}
+	}
+	removed, err := f.RequestClassDeletion(class)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := 0
+	for i, rows := range removed {
+		got += len(rows)
+		for _, r := range rows {
+			if parts[i].Y[r] != class {
+				t.Fatalf("client %d: removed row %d has label %d", i, r, parts[i].Y[r])
+			}
+		}
+	}
+	if got != want {
+		t.Errorf("class deletion removed %d rows, want %d", got, want)
+	}
+	for i := range parts {
+		if left := f.RemainingRowsOfClass(i, class); len(left) != 0 {
+			t.Errorf("client %d still has %d rows of class %d", i, len(left), class)
+		}
+	}
+	// The class is gone: a repeat request has nothing to remove.
+	if _, err := f.RequestClassDeletion(class); err == nil {
+		t.Error("second class deletion found rows to remove")
+	}
+	if _, err := f.RequestClassDeletion(-1); err == nil {
+		t.Error("negative class accepted")
+	}
+	if _, err := f.RequestClassDeletion(10); err == nil {
+		t.Error("out-of-range class accepted")
+	}
+	if err := f.Run(context.Background(), 1, nil); err != nil {
+		t.Fatalf("round after class deletion: %v", err)
 	}
 }

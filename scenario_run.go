@@ -1,0 +1,372 @@
+package goldfish
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"goldfish/internal/data"
+	"goldfish/internal/scenario"
+)
+
+// Scenario types re-exported from the declarative experiment engine
+// (internal/scenario): a ScenarioSpec describes a config-driven unlearning
+// experiment matrix — dataset, partitioner, optional backdoor injection, a
+// deletion schedule, and the strategy × seed × shard axes — and a
+// ScenarioReport is its deterministic structured outcome.
+type (
+	// ScenarioSpec is a declarative unlearning experiment matrix.
+	ScenarioSpec = scenario.Spec
+	// ScenarioReport is the structured, deterministic outcome of RunScenario.
+	ScenarioReport = scenario.Report
+	// ScenarioCell identifies one matrix point (strategy × seed × shards).
+	ScenarioCell = scenario.Cell
+)
+
+// LoadScenario reads and validates a scenario spec file.
+func LoadScenario(path string) (ScenarioSpec, error) { return scenario.Load(path) }
+
+// ParseScenario decodes and validates a scenario spec from JSON bytes.
+func ParseScenario(b []byte) (ScenarioSpec, error) { return scenario.Parse(b) }
+
+// RunScenario executes the spec's full strategy × seed × shard matrix
+// concurrently on a bounded worker pool. Every cell runs end to end through
+// goldfish.New and the registered unlearner strategies: generate the
+// preset's data at the cell seed, partition it, optionally inject the
+// backdoor attack, train with the scheduled sample-/class-/client-level
+// deletion requests applied at their rounds, and evaluate the final model
+// (accuracy, attack success rate, membership gap, and model divergence plus
+// confidence t-test against the "retrain" reference cell of the same seed
+// and shard count when the strategy axis includes it).
+//
+// Cells sharing a seed see identical data, partitions and poisoning, and
+// every cell derives all randomness from spec constants and its seed, so
+// the report is deterministic: two runs of the same spec marshal to
+// byte-identical JSON. A failing cell is recorded in its row's Error field
+// rather than aborting the matrix; Report.Complete reports whether the full
+// matrix succeeded.
+func RunScenario(ctx context.Context, spec ScenarioSpec) (*ScenarioReport, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	outcomes, err := scenario.Execute(ctx, spec, func(ctx context.Context, cell ScenarioCell) (scenario.Outcome, error) {
+		return runScenarioCell(ctx, spec, cell)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return scenario.Assemble(spec, outcomes, newScenarioComparer(spec))
+}
+
+// scenarioSetup materializes the seed-determined, strategy-independent part
+// of a cell: preset, train/test data, partitions, and the poisoned rows.
+type scenarioSetup struct {
+	preset    Preset
+	test      *Dataset
+	parts     []*Dataset
+	poisoned  []int
+	triggered *Dataset
+	rounds    int
+}
+
+// newScenarioSetup resolves and generates everything cells of one seed
+// share. All randomness derives from spec constants and the seed.
+func newScenarioSetup(spec ScenarioSpec, seed int64) (*scenarioSetup, error) {
+	p, err := NewPresetWithArch(spec.Dataset, Arch(spec.Arch), Scale(spec.Scale), seed)
+	if err != nil {
+		return nil, err
+	}
+	if spec.Rounds > 0 {
+		p.Rounds = spec.Rounds
+	}
+	if spec.Clients > 0 {
+		p.Clients = spec.Clients
+	}
+	train, test, err := p.Generate()
+	if err != nil {
+		return nil, err
+	}
+	prng := rand.New(rand.NewSource(seed*7717 + 11))
+	var parts []*Dataset
+	ptype := scenario.PartitionIID
+	if spec.Partition != nil && spec.Partition.Type != "" {
+		ptype = spec.Partition.Type
+	}
+	switch ptype {
+	case scenario.PartitionIID:
+		parts, err = data.PartitionIID(train, p.Clients, prng)
+	case scenario.PartitionHeterogeneous:
+		parts, err = data.PartitionHeterogeneous(train, p.Clients, spec.Partition.Skew, prng)
+	case scenario.PartitionDirichlet:
+		parts, err = data.PartitionDirichlet(train, p.Clients, spec.Partition.Alpha, prng)
+	default:
+		err = fmt.Errorf("goldfish: unknown partitioner %q", ptype)
+	}
+	if err != nil {
+		return nil, err
+	}
+	s := &scenarioSetup{preset: p, test: test, parts: parts, rounds: p.Rounds}
+	if a := spec.Attack; a != nil {
+		if a.Client >= len(parts) {
+			return nil, fmt.Errorf("goldfish: attack client %d out of range [0,%d)", a.Client, len(parts))
+		}
+		bd := BackdoorConfig{TargetLabel: a.TargetLabel, PatchSize: a.PatchSize, PatchValue: a.PatchValue}
+		if bd.PatchSize == 0 {
+			bd.PatchSize = DefaultBackdoor().PatchSize
+		}
+		if bd.PatchValue == 0 {
+			bd.PatchValue = DefaultBackdoor().PatchValue
+		}
+		arng := rand.New(rand.NewSource(seed*9949 + 23))
+		s.poisoned, err = bd.Poison(parts[a.Client], a.Fraction, arng)
+		if err != nil {
+			return nil, err
+		}
+		s.triggered, err = bd.TriggerCopy(test)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// runScenarioCell executes one matrix cell end to end.
+func runScenarioCell(ctx context.Context, spec ScenarioSpec, cell ScenarioCell) (scenario.Outcome, error) {
+	var out scenario.Outcome
+	s, err := newScenarioSetup(spec, cell.Seed)
+	if err != nil {
+		return out, err
+	}
+	for _, d := range spec.Schedule {
+		if d.Round > s.rounds {
+			return out, fmt.Errorf("goldfish: schedule round %d beyond budget %d", d.Round, s.rounds)
+		}
+	}
+	cfg := s.preset.ClientConfig()
+	cfg.Shards = cell.Shards
+	e, err := New(
+		WithPreset(s.preset),
+		WithPartitions(s.parts),
+		WithClientConfig(cfg),
+		WithUnlearner(cell.Strategy),
+		WithSeed(cell.Seed),
+	)
+	if err != nil {
+		return out, err
+	}
+
+	// The engine's federation is the single source of truth for deletion
+	// state (original partitions, removed rows); the runner only tracks the
+	// attacked client's current position — client-level departures shift
+	// later positions down — and accumulates the forget subsets for the
+	// membership-gap probe.
+	attackPos := -1
+	if spec.Attack != nil {
+		attackPos = spec.Attack.Client
+	}
+	var forget []*Dataset
+	srng := rand.New(rand.NewSource(cell.Seed*6271 + 31))
+	res := &out.Result
+
+	snapshotPre := func() error {
+		acc, err := e.TestAccuracy(s.test)
+		if err != nil {
+			return err
+		}
+		res.PreDeletionAccuracy = &acc
+		if s.triggered != nil {
+			net, err := e.GlobalNet()
+			if err != nil {
+				return err
+			}
+			asr := AttackSuccessRate(net, s.triggered, spec.Attack.TargetLabel)
+			res.PreDeletionASR = &asr
+		}
+		return nil
+	}
+
+	completed := 0
+	for k := 0; k < len(spec.Schedule); {
+		round := spec.Schedule[k].Round
+		if seg := round - completed; seg > 0 {
+			if err := e.Run(ctx, seg); err != nil {
+				return out, err
+			}
+			completed = round
+		}
+		if res.PreDeletionAccuracy == nil {
+			if err := snapshotPre(); err != nil {
+				return out, err
+			}
+		}
+		for ; k < len(spec.Schedule) && spec.Schedule[k].Round == round; k++ {
+			d := spec.Schedule[k]
+			switch d.Type {
+			case scenario.DeleteSample:
+				client := d.Client
+				if client < 0 || client >= e.NumClients() {
+					return out, fmt.Errorf("goldfish: schedule client %d out of range [0,%d)", client, e.NumClients())
+				}
+				var rows []int
+				switch d.Target {
+				case scenario.TargetPoisoned:
+					// The poisoned rows follow the attacked client, whose
+					// position may have shifted since the spec was written.
+					if attackPos < 0 {
+						return out, fmt.Errorf("goldfish: schedule round %d: the attacked client already departed", d.Round)
+					}
+					client = attackPos
+					rem := make(map[int]bool, len(s.poisoned))
+					for _, r := range e.RemainingRows(client) {
+						rem[r] = true
+					}
+					for _, r := range s.poisoned {
+						if rem[r] {
+							rows = append(rows, r)
+						}
+					}
+				case scenario.TargetRandom:
+					rem := e.RemainingRows(client)
+					n := int(float64(len(rem))*d.Fraction + 0.5)
+					if n < 1 {
+						n = 1
+					}
+					if n > len(rem) {
+						n = len(rem)
+					}
+					srng.Shuffle(len(rem), func(i, j int) { rem[i], rem[j] = rem[j], rem[i] })
+					rows = rem[:n]
+				default:
+					rows = d.Rows
+				}
+				if len(rows) == 0 {
+					return out, fmt.Errorf("goldfish: schedule round %d: no rows to delete on client %d", d.Round, client)
+				}
+				if err := e.RequestSampleDeletion(client, rows); err != nil {
+					return out, err
+				}
+				forget = append(forget, e.Partitions()[client].Subset(rows))
+				res.RemovedRows += len(rows)
+			case scenario.DeleteClass:
+				byClient, err := e.RequestClassDeletion(d.Class)
+				if err != nil {
+					return out, err
+				}
+				for i := 0; i < e.NumClients(); i++ {
+					rows := byClient[i]
+					if len(rows) == 0 {
+						continue
+					}
+					forget = append(forget, e.Partitions()[i].Subset(rows))
+					res.RemovedRows += len(rows)
+				}
+			case scenario.DeleteClient:
+				if d.Client >= e.NumClients() {
+					return out, fmt.Errorf("goldfish: schedule client %d out of range [0,%d)", d.Client, e.NumClients())
+				}
+				if rows := e.RemainingRows(d.Client); len(rows) > 0 {
+					forget = append(forget, e.Partitions()[d.Client].Subset(rows))
+					res.RemovedRows += len(rows)
+				}
+				if err := e.RemoveClient(d.Client, true); err != nil {
+					return out, err
+				}
+				switch {
+				case d.Client == attackPos:
+					attackPos = -1
+				case d.Client < attackPos:
+					attackPos--
+				}
+				res.RemovedClients++
+			}
+		}
+	}
+	if seg := s.rounds - completed; seg > 0 {
+		if err := e.Run(ctx, seg); err != nil {
+			return out, err
+		}
+	}
+	res.Rounds = e.Round()
+
+	net, err := e.GlobalNet()
+	if err != nil {
+		return out, err
+	}
+	res.Accuracy = Accuracy(net, s.test)
+	if s.triggered != nil {
+		asr := AttackSuccessRate(net, s.triggered, spec.Attack.TargetLabel)
+		res.ASR = &asr
+	}
+	if len(forget) > 0 {
+		all := forget[0]
+		for _, f := range forget[1:] {
+			if all, err = all.Concat(f); err != nil {
+				return out, err
+			}
+		}
+		gap := MembershipGap(net, all, s.test)
+		res.MembershipGap = &gap
+	}
+	out.State = e.Global()
+	return out, nil
+}
+
+// newScenarioComparer builds the cross-cell comparison callback: model
+// divergence and confidence t-test against the retrain reference, over the
+// seed's test set. Probe data and evaluation networks are cached per seed.
+func newScenarioComparer(spec ScenarioSpec) scenario.CompareFunc {
+	type probe struct {
+		test *Dataset
+		cfg  ModelConfig
+	}
+	var mu sync.Mutex
+	cache := map[int64]*probe{}
+	get := func(seed int64) (*probe, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		if p, ok := cache[seed]; ok {
+			return p, nil
+		}
+		ps, err := NewPresetWithArch(spec.Dataset, Arch(spec.Arch), Scale(spec.Scale), seed)
+		if err != nil {
+			return nil, err
+		}
+		_, test, err := ps.Generate()
+		if err != nil {
+			return nil, err
+		}
+		p := &probe{test: test, cfg: ps.Model}
+		cache[seed] = p
+		return p, nil
+	}
+	return func(cell ScenarioCell, state, ref []float64) (*scenario.Comparison, error) {
+		p, err := get(cell.Seed)
+		if err != nil {
+			return nil, err
+		}
+		a, err := BuildModel(p.cfg)
+		if err != nil {
+			return nil, err
+		}
+		b, err := BuildModel(p.cfg)
+		if err != nil {
+			return nil, err
+		}
+		if err := a.SetStateVector(state); err != nil {
+			return nil, err
+		}
+		if err := b.SetStateVector(ref); err != nil {
+			return nil, err
+		}
+		div, err := ModelDivergence(a, b, p.test)
+		if err != nil {
+			return nil, err
+		}
+		tt, err := ConfidenceTTest(a, b, p.test)
+		if err != nil {
+			return nil, err
+		}
+		return &scenario.Comparison{JSD: div.JSD, L2: div.L2, T: tt.T, P: tt.P}, nil
+	}
+}

@@ -399,9 +399,38 @@ func (e *Engine) RequestDeletion(clientID int, rows []int) error {
 	return e.fed.RequestDeletion(clientID, rows)
 }
 
+// RequestSampleDeletion submits a deletion request whose rows index the
+// client's ORIGINAL dataset regardless of the active strategy's addressing:
+// the federation tracks prior removals per participant and remaps indices
+// for strategies that address the current post-removal view. This is the
+// entry point schedule-driven callers (e.g. RunScenario) should use; rows
+// already removed are rejected.
+func (e *Engine) RequestSampleDeletion(clientID int, rows []int) error {
+	return e.fed.RequestDeletionRows(clientID, rows)
+}
+
+// RequestClassDeletion submits a class-level deletion request: every
+// remaining sample labelled class, across all participants, is removed. It
+// returns the deleted original row indices keyed by client position.
+func (e *Engine) RequestClassDeletion(class int) (map[int][]int, error) {
+	return e.fed.RequestClassDeletion(class)
+}
+
+// RemainingRows returns the not-yet-deleted original row indices of a
+// client's dataset.
+func (e *Engine) RemainingRows(clientID int) []int {
+	return e.fed.RemainingRows(clientID)
+}
+
+// RemainingRowsOfClass returns the not-yet-deleted original row indices of a
+// client's samples labelled class.
+func (e *Engine) RemainingRowsOfClass(clientID, class int) []int {
+	return e.fed.RemainingRowsOfClass(clientID, class)
+}
+
 // AddClient registers a new participant holding the given local dataset and
 // returns its lifetime-unique client ID. Only strategies with
-// dynamic-membership support (the default "goldfish") accept it.
+// dynamic-membership support ("goldfish", "retrain", "fisher") accept it.
 func (e *Engine) AddClient(ds *Dataset) (int, error) {
 	id, err := e.fed.AddClient(ds)
 	if err != nil {
