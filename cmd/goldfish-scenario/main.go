@@ -11,8 +11,32 @@
 //	goldfish-scenario -config spec.json -json report.json
 //	goldfish-scenario -config spec.json -validate
 //
-// The command exits non-zero when the spec is invalid or when any matrix
-// cell is missing from or failed in the report, so CI can gate on it.
+// A matrix can be split across machines and recombined: -shard i/n runs a
+// deterministic subset (each "retrain" reference cell stays co-located with
+// the cells compared against it, so vs_retrain is populated in every
+// partial), and -merge recombines partial reports into JSON byte-identical
+// to a single-machine run:
+//
+//	goldfish-scenario -config spec.json -shard 1/2 -json part1.json
+//	goldfish-scenario -config spec.json -shard 2/2 -json part2.json
+//	goldfish-scenario -merge -json report.json part1.json part2.json
+//
+// A committed baseline report gates regressions: -baseline diffs the fresh
+// report against it cell-by-cell with Welch t-tests across the seed axis and
+// exits non-zero on any statistically significant accuracy/ASR/membership
+// worsening or newly failing cell:
+//
+//	goldfish-scenario -config spec.json -baseline examples/scenarios/baselines/smoke.json
+//
+// On SIGINT/SIGTERM the finished cells are not discarded: with -json the
+// partial report is written (marked incomplete) before exiting non-zero. To
+// resume, re-run the same invocation and merge both reports — rows finished
+// in both runs are byte-identical (determinism) and -merge dedupes them when
+// an input is marked incomplete, while still rejecting any other overlap.
+//
+// The command exits non-zero when the spec is invalid, when any matrix cell
+// is missing from or failed in the report, or when -baseline finds a
+// regression, so CI can gate on it.
 package main
 
 import (
@@ -32,40 +56,115 @@ func main() {
 
 func run() int {
 	var (
-		config   = flag.String("config", "", "scenario spec file (JSON, required)")
+		config   = flag.String("config", "", "scenario spec file (JSON, required unless -merge)")
 		jsonP    = flag.String("json", "", "write the structured report to this path")
 		workers  = flag.Int("workers", 0, "override the spec's worker-pool bound (0 = spec/default)")
 		validate = flag.Bool("validate", false, "parse and validate the spec, then exit")
+		shard    = flag.String("shard", "", "run only machine shard i/n of the matrix (e.g. 1/2)")
+		merge    = flag.Bool("merge", false, "merge the partial reports given as arguments instead of running")
+		baseline = flag.String("baseline", "", "diff the report against this baseline report; exit non-zero on significant regressions")
+		alpha    = flag.Float64("alpha", 0, "baseline diff significance level (default 0.05)")
+		minDelta = flag.Float64("min-delta", 0, "baseline diff practical-significance floor on metric deltas")
 	)
 	flag.Parse()
 
-	if *config == "" {
+	var rep *goldfish.ScenarioReport
+	switch {
+	case *merge:
+		if *config != "" || *shard != "" || *validate {
+			fmt.Fprintln(os.Stderr, "goldfish-scenario: -merge takes report files as arguments and is exclusive with -config/-shard/-validate")
+			return 2
+		}
+		paths := flag.Args()
+		if len(paths) < 2 {
+			fmt.Fprintln(os.Stderr, "goldfish-scenario: -merge needs at least two partial report files")
+			return 2
+		}
+		parts := make([]*goldfish.ScenarioReport, len(paths))
+		for i, p := range paths {
+			var err error
+			if parts[i], err = goldfish.LoadScenarioReport(p); err != nil {
+				fmt.Fprintf(os.Stderr, "goldfish-scenario: %v\n", err)
+				return 2
+			}
+		}
+		var err error
+		if rep, err = goldfish.MergeScenarioReports(parts...); err != nil {
+			fmt.Fprintf(os.Stderr, "goldfish-scenario: %v\n", err)
+			return 1
+		}
+
+	case *config == "":
 		fmt.Fprintln(os.Stderr, "goldfish-scenario: -config is required; e.g. -config examples/scenarios/smoke.json")
 		return 2
-	}
-	spec, err := goldfish.LoadScenario(*config)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "goldfish-scenario: %v\n", err)
+
+	case *shard != "" && *baseline != "":
+		// A shard covers only part of the matrix; diffing it against a full
+		// baseline would silently skip every uncovered cell. Merge the
+		// shards first, then gate the merged report.
+		fmt.Fprintln(os.Stderr, "goldfish-scenario: -baseline needs the full matrix; merge the shards first, then diff (-merge ... -baseline)")
 		return 2
-	}
-	if *validate {
-		cells := spec.Cells()
-		fmt.Printf("%s: valid (%d strategies × %d seeds × %d shard counts = %d cells)\n",
-			*config, len(spec.Strategies), len(spec.SeedList()), len(spec.ShardList()), len(cells))
-		return 0
-	}
-	if *workers > 0 {
-		spec.Workers = *workers
+
+	default:
+		spec, err := goldfish.LoadScenario(*config)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "goldfish-scenario: %v\n", err)
+			return 2
+		}
+		if *validate {
+			// RunScenarioShard re-validates on the run path; this branch
+			// exists to surface resolved-preset and shard errors without
+			// training.
+			if err := goldfish.ValidateScenario(spec); err != nil {
+				fmt.Fprintf(os.Stderr, "goldfish-scenario: %v\n", err)
+				return 2
+			}
+			cells := spec.Cells()
+			fmt.Printf("%s: valid (%d strategies × %d seeds × %d shard counts = %d cells)\n",
+				*config, len(spec.Strategies), len(spec.SeedList()), len(spec.ShardList()), len(cells))
+			if *shard != "" {
+				ref, err := goldfish.ParseScenarioShard(*shard)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "goldfish-scenario: %v\n", err)
+					return 2
+				}
+				sub, err := spec.ShardCells(ref)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "goldfish-scenario: %v\n", err)
+					return 2
+				}
+				fmt.Printf("shard %s: %d of %d cells\n", ref, len(sub), len(cells))
+			}
+			return 0
+		}
+		if *workers > 0 {
+			spec.Workers = *workers
+		}
+
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stop()
+
+		rep, err = goldfish.RunScenarioShard(ctx, spec, *shard)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "goldfish-scenario: %v\n", err)
+			if rep == nil {
+				return 1
+			}
+			// Interrupted mid-matrix: persist the finished cells (marked
+			// incomplete) instead of discarding them, so the run can be
+			// resumed and merged later.
+			rep.RenderText(os.Stdout)
+			if *jsonP != "" {
+				if werr := rep.WriteJSON(*jsonP); werr != nil {
+					fmt.Fprintf(os.Stderr, "goldfish-scenario: %v\n", werr)
+				} else {
+					fmt.Printf("wrote partial report (%d finished cells) to %s\n", len(rep.Cells), *jsonP)
+				}
+			}
+			return 1
+		}
 	}
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
-
-	rep, err := goldfish.RunScenario(ctx, spec)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "goldfish-scenario: %v\n", err)
-		return 1
-	}
 	rep.RenderText(os.Stdout)
 	if *jsonP != "" {
 		if err := rep.WriteJSON(*jsonP); err != nil {
@@ -77,6 +176,25 @@ func run() int {
 	if err := rep.Complete(); err != nil {
 		fmt.Fprintf(os.Stderr, "goldfish-scenario: incomplete matrix: %v\n", err)
 		return 1
+	}
+	if *baseline != "" {
+		old, err := goldfish.LoadScenarioReport(*baseline)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "goldfish-scenario: %v\n", err)
+			return 2
+		}
+		diff, err := goldfish.DiffScenarioReports(old, rep, goldfish.ScenarioDiffOptions{Alpha: *alpha, MinDelta: *minDelta})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "goldfish-scenario: %v\n", err)
+			return 1
+		}
+		diff.RenderText(os.Stdout)
+		if diff.HasRegressions() {
+			fmt.Fprintf(os.Stderr, "goldfish-scenario: %d significant regressions and %d newly failing cells vs %s\n",
+				len(diff.Regressions()), len(diff.NewlyFailing), *baseline)
+			return 1
+		}
+		fmt.Printf("no significant regressions vs %s\n", *baseline)
 	}
 	return 0
 }

@@ -46,6 +46,11 @@ type Outcome struct {
 	Result CellResult
 	// State is the final global model state, nil when the cell failed.
 	State []float64
+	// Canceled marks a cell that never produced a deterministic outcome
+	// because the context was canceled before or during its run. Canceled
+	// cells are excluded from partial reports (AssembleCells), since a
+	// resumed run would produce a different — real — row for them.
+	Canceled bool
 }
 
 // Runner executes one cell. It must be safe for concurrent invocation and
@@ -59,10 +64,19 @@ type Runner func(ctx context.Context, cell Cell) (Outcome, error)
 // than aborting the matrix; ctx cancellation stops scheduling new cells and
 // is returned once started cells finish.
 func Execute(ctx context.Context, spec Spec, run Runner) ([]Outcome, error) {
+	return ExecuteCells(ctx, spec, spec.Cells(), run)
+}
+
+// ExecuteCells runs the given subset of the spec's matrix (typically one
+// machine shard from Spec.ShardCells) on a fixed pool of Spec.Workers
+// goroutines pulling cells from a channel, so a 10k-cell matrix parks at
+// most `workers` goroutines, not 10k. outcomes[i] corresponds to cells[i].
+// Cells reached after ctx cancellation are marked Canceled instead of run;
+// the context error is returned once in-flight cells finish.
+func ExecuteCells(ctx context.Context, spec Spec, cells []Cell, run Runner) ([]Outcome, error) {
 	if run == nil {
 		return nil, fmt.Errorf("scenario: nil runner")
 	}
-	cells := spec.Cells()
 	workers := spec.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -71,28 +85,39 @@ func Execute(ctx context.Context, spec Spec, run Runner) ([]Outcome, error) {
 		workers = len(cells)
 	}
 	out := make([]Outcome, len(cells))
-	sem := make(chan struct{}, workers)
+	idx := make(chan int)
 	var wg sync.WaitGroup
-	for _, c := range cells {
+	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func(c Cell) {
+		go func() {
 			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			var o Outcome
-			if err := ctx.Err(); err != nil {
-				o.Result.Error = err.Error()
-			} else if res, err := run(ctx, c); err != nil {
-				o = res
-				o.Result.Error = err.Error()
-				o.State = nil
-			} else {
-				o = res
+			for i := range idx {
+				c := cells[i]
+				var o Outcome
+				if err := ctx.Err(); err != nil {
+					o.Result.Error = err.Error()
+					o.Canceled = true
+				} else if res, err := run(ctx, c); err != nil {
+					o = res
+					o.Result.Error = err.Error()
+					o.State = nil
+					// A runner error after cancellation is the
+					// interruption surfacing, not a real cell failure.
+					o.Canceled = ctx.Err() != nil
+				} else {
+					o = res
+				}
+				o.Result.Strategy, o.Result.Seed, o.Result.Shards = c.Strategy, c.Seed, c.Shards
+				out[i] = o
 			}
-			o.Result.Strategy, o.Result.Seed, o.Result.Shards = c.Strategy, c.Seed, c.Shards
-			out[c.Index] = o
-		}(c)
+		}()
 	}
+	// Feeding never deadlocks on cancellation: workers keep draining the
+	// channel, marking post-cancellation cells Canceled without running them.
+	for i := range cells {
+		idx <- i
+	}
+	close(idx)
 	wg.Wait()
 	if err := ctx.Err(); err != nil {
 		return out, fmt.Errorf("scenario: %w", err)

@@ -1,12 +1,45 @@
 package scenario
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
 	"os"
 	"strings"
 )
+
+// renderTable writes an aligned left-padded text table with a separator
+// under the header row.
+func renderTable(w io.Writer, cols []string, rows [][]string) {
+	widths := make([]int, len(cols))
+	for i, c := range cols {
+		widths[i] = len(c)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+		}
+		fmt.Fprintf(w, "  %s\n", strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(cols)
+	sep := make([]string, len(cols))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range rows {
+		line(row)
+	}
+}
 
 // RetrainReference is the strategy name used as the comparison reference for
 // model-similarity metrics: when a spec's strategy axis includes it, every
@@ -59,11 +92,21 @@ type CellResult struct {
 
 // Report is the structured outcome of a scenario run. For a fixed Spec the
 // report is deterministic — cells are ordered by the matrix expansion and
-// carry no wall-clock state — so two runs marshal to identical bytes.
+// carry no wall-clock state — so two runs marshal to identical bytes. A
+// report may cover only part of the matrix: one machine shard (Shard "i/n")
+// and/or the completed prefix of an interrupted run (Incomplete). Both
+// markers are empty on full reports and on merged reports, which keeps a
+// Merge of shard partials byte-identical to a single-machine run.
 type Report struct {
-	Name  string       `json:"name"`
-	Spec  Spec         `json:"spec"`
-	Cells []CellResult `json:"cells"`
+	Name string `json:"name"`
+	Spec Spec   `json:"spec"`
+	// Shard is "i/n" when the report holds one machine shard of the matrix
+	// (Spec.ShardCells), empty for whole-matrix and merged reports.
+	Shard string `json:"shard,omitempty"`
+	// Incomplete marks an interrupted run: the report holds only the cells
+	// that finished deterministically before cancellation.
+	Incomplete bool         `json:"incomplete,omitempty"`
+	Cells      []CellResult `json:"cells"`
 }
 
 // CompareFunc compares a cell's final state against the retrain reference
@@ -75,9 +118,29 @@ type CompareFunc func(cell Cell, state, ref []float64) (*Comparison, error)
 // succeeded (when the strategy axis includes "retrain" and compare is
 // non-nil) and returns the cells in matrix order.
 func Assemble(spec Spec, outcomes []Outcome, compare CompareFunc) (*Report, error) {
-	cells := spec.Cells()
+	return AssembleCells(spec, ShardRef{}, spec.Cells(), outcomes, compare)
+}
+
+// AssembleCells builds a (possibly partial) report from the executed subset
+// of the matrix: cells is the subset that ran (typically Spec.ShardCells for
+// shard runs, Spec.Cells for whole-matrix runs) and outcomes[i] is the
+// outcome of cells[i].
+//
+// Canceled outcomes — cells an interrupted run never finished — are dropped
+// from the report and mark it Incomplete, so every row a partial report does
+// carry is exactly the row a completed run would carry; a non-reference cell
+// whose retrain counterpart was canceled is likewise dropped, since its
+// VsRetrain comparison cannot be computed the way a completed run would.
+// That invariant is what lets Merge recombine partials into a report
+// byte-identical to a single-machine run.
+func AssembleCells(spec Spec, shard ShardRef, cells []Cell, outcomes []Outcome, compare CompareFunc) (*Report, error) {
 	if len(outcomes) != len(cells) {
 		return nil, fmt.Errorf("scenario: %d outcomes for %d cells", len(outcomes), len(cells))
+	}
+	if !shard.IsZero() {
+		if err := shard.Validate(); err != nil {
+			return nil, err
+		}
 	}
 	// Canonicalize execution knobs out of the embedded spec: the worker
 	// bound affects scheduling only, and reports must be byte-identical at
@@ -89,44 +152,77 @@ func Assemble(spec Spec, outcomes []Outcome, compare CompareFunc) (*Report, erro
 			hasRef = true
 		}
 	}
-	// Index retrain outcomes by (seed, shards).
+	// Index retrain outcomes by (seed, shards), positions within the subset.
 	type key struct {
 		seed   int64
 		shards int
 	}
 	refs := map[key]int{}
 	if hasRef {
-		for _, c := range cells {
+		for i, c := range cells {
 			if c.Strategy == RetrainReference {
-				refs[key{c.Seed, c.Shards}] = c.Index
+				refs[key{c.Seed, c.Shards}] = i
 			}
 		}
 	}
-	rows := make([]CellResult, len(cells))
-	for _, c := range cells {
-		o := outcomes[c.Index]
+	rows := make([]CellResult, 0, len(cells))
+	incomplete := false
+	for i, c := range cells {
+		o := outcomes[i]
+		if o.Canceled {
+			incomplete = true
+			continue
+		}
 		row := o.Result
 		// Label the row from the matrix itself; outcomes are positional.
 		row.Strategy, row.Seed, row.Shards = c.Strategy, c.Seed, c.Shards
 		if hasRef && compare != nil && c.Strategy != RetrainReference && row.Error == "" && o.State != nil {
-			if ri, ok := refs[key{c.Seed, c.Shards}]; ok && outcomes[ri].State != nil {
-				cmp, err := compare(c, o.State, outcomes[ri].State)
-				if err != nil {
-					row.Error = fmt.Sprintf("comparing against retrain: %v", err)
-				} else {
-					row.VsRetrain = cmp
+			if ri, ok := refs[key{c.Seed, c.Shards}]; ok {
+				if outcomes[ri].Canceled {
+					// The reference never finished; a completed run would
+					// have compared against it, so this row is unusable.
+					incomplete = true
+					continue
+				}
+				if outcomes[ri].State != nil {
+					cmp, err := compare(c, o.State, outcomes[ri].State)
+					if err != nil {
+						row.Error = fmt.Sprintf("comparing against retrain: %v", err)
+					} else {
+						row.VsRetrain = cmp
+					}
 				}
 			}
 		}
-		rows[c.Index] = row
+		rows = append(rows, row)
 	}
-	return &Report{Name: spec.Name, Spec: spec, Cells: rows}, nil
+	return &Report{Name: spec.Name, Spec: spec, Shard: shard.String(), Incomplete: incomplete, Cells: rows}, nil
 }
 
-// Complete verifies the report covers the spec's full matrix with no failed
-// cells, returning a descriptive error otherwise. CI gates on this.
+// ExpectedCells returns the matrix subset the report claims to cover: the
+// full matrix, or the report's machine shard when Shard is set.
+func (r *Report) ExpectedCells() ([]Cell, error) {
+	if r.Shard == "" {
+		return r.Spec.Cells(), nil
+	}
+	ref, err := ParseShardRef(r.Shard)
+	if err != nil {
+		return nil, err
+	}
+	return r.Spec.ShardCells(ref)
+}
+
+// Complete verifies the report covers its expected matrix subset (the full
+// matrix, or its machine shard) with no failed cells, returning a
+// descriptive error otherwise. CI gates on this.
 func (r *Report) Complete() error {
-	cells := r.Spec.Cells()
+	if r.Incomplete {
+		return fmt.Errorf("scenario: report is marked incomplete (interrupted run)")
+	}
+	cells, err := r.ExpectedCells()
+	if err != nil {
+		return err
+	}
 	if len(r.Cells) != len(cells) {
 		return fmt.Errorf("scenario: report has %d cells, matrix has %d", len(r.Cells), len(cells))
 	}
@@ -165,9 +261,70 @@ func (r *Report) WriteJSON(path string) error {
 	return nil
 }
 
+// ParseReport decodes a report (full or partial) from JSON, rejecting
+// unknown fields and validating the embedded spec, the shard reference and
+// the rows — every row must name a distinct cell of the spec's matrix — so
+// a corrupted or hand-edited report fails loudly before it can skew a Merge
+// or a Diff's t-test samples.
+func ParseReport(b []byte) (*Report, error) {
+	dec := json.NewDecoder(bytes.NewReader(b))
+	dec.DisallowUnknownFields()
+	var r Report
+	if err := dec.Decode(&r); err != nil {
+		return nil, fmt.Errorf("scenario: parsing report: %w", err)
+	}
+	if dec.More() {
+		return nil, fmt.Errorf("scenario: trailing data after the report object")
+	}
+	if err := r.Spec.Validate(); err != nil {
+		return nil, fmt.Errorf("scenario: report spec: %w", err)
+	}
+	if r.Shard != "" {
+		if _, err := ParseShardRef(r.Shard); err != nil {
+			return nil, err
+		}
+	}
+	matrix := map[cellKey]bool{}
+	for _, c := range r.Spec.Cells() {
+		matrix[cellKey{c.Strategy, c.Seed, c.Shards}] = true
+	}
+	seen := map[cellKey]bool{}
+	for _, row := range r.Cells {
+		k := cellKey{row.Strategy, row.Seed, row.Shards}
+		if !matrix[k] {
+			return nil, fmt.Errorf("scenario: report cell %s is not in the spec's matrix", k)
+		}
+		if seen[k] {
+			return nil, fmt.Errorf("scenario: report cell %s appears twice", k)
+		}
+		seen[k] = true
+	}
+	return &r, nil
+}
+
+// LoadReport reads and parses a report file written by WriteJSON.
+func LoadReport(path string) (*Report, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	r, err := ParseReport(b)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: %s: %w", path, err)
+	}
+	return r, nil
+}
+
 // RenderText writes a human-readable summary table of the matrix.
 func (r *Report) RenderText(w io.Writer) {
-	fmt.Fprintf(w, "=== scenario %s — %s (%d cells) ===\n", r.Name, r.Spec.Dataset, len(r.Cells))
+	note := ""
+	if r.Shard != "" {
+		note = fmt.Sprintf(", shard %s", r.Shard)
+	}
+	if r.Incomplete {
+		note += ", INCOMPLETE"
+	}
+	fmt.Fprintf(w, "=== scenario %s — %s (%d cells%s) ===\n", r.Name, r.Spec.Dataset, len(r.Cells), note)
 	cols := []string{"strategy", "seed", "tau", "rounds", "removed", "acc", "asr", "memgap", "jsd-vs-retrain", "error"}
 	rows := make([][]string, 0, len(r.Cells))
 	opt := func(v *float64) string {
@@ -198,31 +355,5 @@ func (r *Report) RenderText(w io.Writer) {
 			c.Error,
 		})
 	}
-	widths := make([]int, len(cols))
-	for i, c := range cols {
-		widths[i] = len(c)
-	}
-	for _, row := range rows {
-		for i, cell := range row {
-			if len(cell) > widths[i] {
-				widths[i] = len(cell)
-			}
-		}
-	}
-	line := func(cells []string) {
-		parts := make([]string, len(cells))
-		for i, c := range cells {
-			parts[i] = fmt.Sprintf("%-*s", widths[i], c)
-		}
-		fmt.Fprintf(w, "  %s\n", strings.TrimRight(strings.Join(parts, "  "), " "))
-	}
-	line(cols)
-	sep := make([]string, len(cols))
-	for i := range sep {
-		sep[i] = strings.Repeat("-", widths[i])
-	}
-	line(sep)
-	for _, row := range rows {
-		line(row)
-	}
+	renderTable(w, cols, rows)
 }

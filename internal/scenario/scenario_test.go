@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -369,5 +370,208 @@ func TestAssembleCanonicalizesWorkers(t *testing.T) {
 	}
 	if a.Spec.Workers != 0 {
 		t.Errorf("embedded spec kept Workers=%d", a.Spec.Workers)
+	}
+}
+
+// TestExecuteFixedWorkerPool pins the satellite fix: Execute must run a
+// fixed pool of `workers` goroutines pulling cells from a channel, not spawn
+// one goroutine per cell up front — a 10k-cell sharded matrix must not park
+// 10k goroutines on the semaphore.
+func TestExecuteFixedWorkerPool(t *testing.T) {
+	s := Spec{
+		Name:        "pool",
+		Dataset:     "mnist",
+		Scale:       "tiny",
+		Rounds:      1,
+		Strategies:  []string{"a", "b"},
+		Repetitions: 500, // 1000 cells
+		Workers:     3,
+	}
+	before := runtime.NumGoroutine()
+	var peak int32
+	outcomes, err := Execute(context.Background(), s, func(ctx context.Context, c Cell) (Outcome, error) {
+		g := int32(runtime.NumGoroutine())
+		for {
+			p := atomic.LoadInt32(&peak)
+			if g <= p || atomic.CompareAndSwapInt32(&peak, p, g) {
+				break
+			}
+		}
+		return Outcome{State: []float64{1}}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outcomes) != 1000 {
+		t.Fatalf("got %d outcomes", len(outcomes))
+	}
+	// Pool of 3 plus the feeder and test goroutines; anywhere near 1000
+	// means per-cell goroutines are back.
+	if int(peak) > before+20 {
+		t.Errorf("observed %d goroutines during a 1000-cell matrix with 3 workers (baseline %d)", peak, before)
+	}
+}
+
+// TestExecuteCellsSubsetAndCancellation: a mid-matrix cancellation marks the
+// unrun cells Canceled, and AssembleCells drops them into an Incomplete
+// partial whose surviving rows match a completed run's rows exactly.
+func TestExecuteCellsSubsetAndCancellation(t *testing.T) {
+	s := validSpec() // goldfish+retrain × seeds 1,2
+	s.Workers = 1    // deterministic: cells run one at a time, in order
+	cells := s.Cells()
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran int32
+	outcomes, err := ExecuteCells(ctx, s, cells, func(ctx context.Context, c Cell) (Outcome, error) {
+		if atomic.AddInt32(&ran, 1) == 2 {
+			cancel() // interrupt after the second cell completes
+		}
+		var o Outcome
+		o.Result.Accuracy = float64(c.Index)
+		o.State = []float64{1}
+		return o, nil
+	})
+	if err == nil {
+		t.Fatal("cancelled ExecuteCells returned nil error")
+	}
+	var canceled int
+	for _, o := range outcomes {
+		if o.Canceled {
+			canceled++
+		}
+	}
+	if canceled == 0 || canceled > 2 {
+		t.Fatalf("%d canceled outcomes, want 1-2", canceled)
+	}
+	rep, err := AssembleCells(s, ShardRef{}, cells, outcomes, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Incomplete {
+		t.Error("partial report not marked incomplete")
+	}
+	if len(rep.Cells) != len(cells)-canceled {
+		t.Errorf("partial has %d rows, want %d", len(rep.Cells), len(cells)-canceled)
+	}
+	for _, row := range rep.Cells {
+		if row.Error != "" {
+			t.Errorf("finished row %s/seed %d carries error %q", row.Strategy, row.Seed, row.Error)
+		}
+	}
+	if err := rep.Complete(); err == nil {
+		t.Error("incomplete partial passed Complete")
+	}
+}
+
+// TestAssembleCellsDropsOrphanedComparand: a finished non-reference cell
+// whose retrain reference was canceled must be dropped too — a completed run
+// would have given it a VsRetrain comparison that the partial cannot compute.
+func TestAssembleCellsDropsOrphanedComparand(t *testing.T) {
+	s := validSpec()
+	cells := s.Cells()
+	outcomes := make([]Outcome, len(cells))
+	for i, c := range cells {
+		if c.Strategy == RetrainReference && c.Seed == 2 {
+			outcomes[i] = Outcome{Canceled: true}
+		} else {
+			outcomes[i] = Outcome{State: []float64{1}}
+		}
+	}
+	rep, err := AssembleCells(s, ShardRef{}, cells, outcomes, func(cell Cell, state, ref []float64) (*Comparison, error) {
+		return &Comparison{JSD: 0.1}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Incomplete {
+		t.Error("report with a canceled reference not marked incomplete")
+	}
+	for _, row := range rep.Cells {
+		if row.Seed == 2 && row.Strategy != RetrainReference {
+			t.Errorf("%s/seed 2 kept despite its canceled retrain reference", row.Strategy)
+		}
+		if row.Seed == 1 && row.Strategy != RetrainReference && row.VsRetrain == nil {
+			t.Errorf("%s/seed 1 missing comparison", row.Strategy)
+		}
+	}
+}
+
+// TestCompleteShardReport: a shard partial is complete when it covers
+// exactly its shard's cells.
+func TestCompleteShardReport(t *testing.T) {
+	s := validSpec()
+	ref := ShardRef{Index: 1, Count: 2}
+	cells, err := s.ShardCells(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outcomes := make([]Outcome, len(cells))
+	rep, err := AssembleCells(s, ref, cells, outcomes, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.Complete(); err != nil {
+		t.Errorf("complete shard partial failed Complete: %v", err)
+	}
+	rep.Cells = rep.Cells[:len(rep.Cells)-1]
+	if err := rep.Complete(); err == nil {
+		t.Error("short shard partial passed Complete")
+	}
+	rep.Shard = "2/0"
+	if err := rep.Complete(); err == nil {
+		t.Error("bogus shard marker passed Complete")
+	}
+}
+
+func TestParseReportRejectsGarbage(t *testing.T) {
+	if _, err := ParseReport([]byte(`{"name":"x"`)); err == nil {
+		t.Error("truncated report accepted")
+	}
+	if _, err := ParseReport([]byte(`{"name":"x","spec":{"dataset":"mnist","strategies":["g"]},"cells":[],"junk":1}`)); err == nil {
+		t.Error("unknown field accepted")
+	}
+	if _, err := ParseReport([]byte(`{"name":"x","spec":{"dataset":""},"cells":[]}`)); err == nil {
+		t.Error("invalid embedded spec accepted")
+	}
+	if _, err := ParseReport([]byte(`{"name":"x","spec":{"dataset":"mnist","strategies":["g"]},"shard":"9/2","cells":[]}`)); err == nil {
+		t.Error("invalid shard marker accepted")
+	}
+	if _, err := LoadReport("/nonexistent/report.json"); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+// TestExecuteCellsLateCancellation: a cancellation that lands only after
+// every cell has finished leaves no outcome marked Canceled, so the
+// assembled report is NOT Incomplete — it equals an uninterrupted run, and
+// RunScenarioShard relies on that to suppress the spurious interrupt.
+func TestExecuteCellsLateCancellation(t *testing.T) {
+	s := validSpec()
+	s.Workers = 1
+	cells := s.Cells()
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran int32
+	outcomes, err := ExecuteCells(ctx, s, cells, func(ctx context.Context, c Cell) (Outcome, error) {
+		if int(atomic.AddInt32(&ran, 1)) == len(cells) {
+			cancel() // interrupt arrives while the LAST cell is finishing
+		}
+		return Outcome{State: []float64{1}}, nil
+	})
+	if err == nil {
+		t.Fatal("late-cancelled ExecuteCells returned nil error")
+	}
+	for i, o := range outcomes {
+		if o.Canceled {
+			t.Errorf("cell %d marked Canceled despite finishing", i)
+		}
+	}
+	rep, err := AssembleCells(s, ShardRef{}, cells, outcomes, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Incomplete {
+		t.Error("fully-finished run marked incomplete")
+	}
+	if err := rep.Complete(); err != nil {
+		t.Errorf("fully-finished run failed Complete: %v", err)
 	}
 }

@@ -22,13 +22,75 @@ type (
 	ScenarioReport = scenario.Report
 	// ScenarioCell identifies one matrix point (strategy × seed × shards).
 	ScenarioCell = scenario.Cell
+	// ScenarioDiff is the cell-by-cell comparison of two scenario reports.
+	ScenarioDiff = scenario.DiffReport
+	// ScenarioDiffOptions tunes DiffScenarioReports (significance level,
+	// practical-delta floor).
+	ScenarioDiffOptions = scenario.DiffOptions
+	// ScenarioShardRef identifies one machine shard ("i/n") of a
+	// distributed matrix run.
+	ScenarioShardRef = scenario.ShardRef
 )
+
+// ParseScenarioShard parses an "i/n" machine-shard reference with
+// 1 ≤ i ≤ n, as accepted by RunScenarioShard and the -shard CLI flag.
+func ParseScenarioShard(s string) (ScenarioShardRef, error) { return scenario.ParseShardRef(s) }
 
 // LoadScenario reads and validates a scenario spec file.
 func LoadScenario(path string) (ScenarioSpec, error) { return scenario.Load(path) }
 
 // ParseScenario decodes and validates a scenario spec from JSON bytes.
 func ParseScenario(b []byte) (ScenarioSpec, error) { return scenario.Parse(b) }
+
+// LoadScenarioReport reads a report file written by a scenario run — full,
+// one machine shard, or the completed part of an interrupted run.
+func LoadScenarioReport(path string) (*ScenarioReport, error) { return scenario.LoadReport(path) }
+
+// MergeScenarioReports recombines partial reports (machine shards from
+// RunScenarioShard and/or the completed prefix of an interrupted run) into a
+// report byte-identical to a single-machine RunScenario of the same spec. It
+// validates that every input embeds the same spec and that the inputs cover
+// the matrix exactly once, erroring on overlapping or missing cells.
+func MergeScenarioReports(reports ...*ScenarioReport) (*ScenarioReport, error) {
+	return scenario.Merge(reports...)
+}
+
+// DiffScenarioReports compares two reports cell-by-cell: accuracy, attack
+// success rate and membership-gap deltas over the matrix intersection, plus
+// per-(strategy, τ, metric) Welch t-tests across the seed axis. A committed
+// baseline report can thereby gate CI: ScenarioDiff.HasRegressions reports
+// any statistically significant worsening or newly failing cell, and a
+// report diffed against itself never regresses.
+func DiffScenarioReports(oldR, newR *ScenarioReport, opts ScenarioDiffOptions) (*ScenarioDiff, error) {
+	return scenario.Diff(oldR, newR, opts)
+}
+
+// ValidateScenario validates a spec beyond ScenarioSpec.Validate: it also
+// resolves the preset so a deletion schedule reaching past a preset-derived
+// round budget is rejected up front instead of silently never executing (or
+// failing every cell at run time).
+func ValidateScenario(spec ScenarioSpec) error {
+	if err := spec.Validate(); err != nil {
+		return err
+	}
+	if len(spec.Schedule) == 0 || spec.Rounds > 0 {
+		// An explicit budget was already checked against the schedule.
+		return nil
+	}
+	p, err := NewPresetWithArch(spec.Dataset, Arch(spec.Arch), Scale(spec.Scale), spec.SeedList()[0])
+	if err != nil {
+		// Unresolvable presets (unknown dataset/arch) surface as cell
+		// errors with full context; don't duplicate that reporting here.
+		return nil
+	}
+	for i, d := range spec.Schedule {
+		if d.Round > p.Rounds {
+			return fmt.Errorf("goldfish: schedule[%d]: round %d beyond the preset's resolved budget of %d rounds",
+				i, d.Round, p.Rounds)
+		}
+	}
+	return nil
+}
 
 // RunScenario executes the spec's full strategy × seed × shard matrix
 // concurrently on a bounded worker pool. Every cell runs end to end through
@@ -46,17 +108,54 @@ func ParseScenario(b []byte) (ScenarioSpec, error) { return scenario.Parse(b) }
 // byte-identical JSON. A failing cell is recorded in its row's Error field
 // rather than aborting the matrix; Report.Complete reports whether the full
 // matrix succeeded.
+// On ctx cancellation RunScenario returns BOTH a non-nil partial report —
+// holding the cells that finished deterministically, marked Incomplete — and
+// the context error, so an interrupted run's finished work can be persisted
+// and later recombined with MergeScenarioReports.
 func RunScenario(ctx context.Context, spec ScenarioSpec) (*ScenarioReport, error) {
-	if err := spec.Validate(); err != nil {
+	return RunScenarioShard(ctx, spec, "")
+}
+
+// RunScenarioShard runs one machine shard of the spec's matrix: shard is
+// "i/n" (or "" for the whole matrix), selecting the deterministic subset
+// from ScenarioSpec.ShardCells. Each shard co-locates every "retrain"
+// reference cell with the cells compared against it, so VsRetrain is
+// populated inside every partial and MergeScenarioReports reassembles the
+// shards into a report byte-identical to a single-machine run. Like
+// RunScenario, cancellation returns a partial Incomplete report alongside
+// the context error.
+func RunScenarioShard(ctx context.Context, spec ScenarioSpec, shard string) (*ScenarioReport, error) {
+	if err := ValidateScenario(spec); err != nil {
 		return nil, err
 	}
-	outcomes, err := scenario.Execute(ctx, spec, func(ctx context.Context, cell ScenarioCell) (scenario.Outcome, error) {
-		return runScenarioCell(ctx, spec, cell)
-	})
+	var ref scenario.ShardRef
+	if shard != "" {
+		var err error
+		if ref, err = scenario.ParseShardRef(shard); err != nil {
+			return nil, err
+		}
+	}
+	cells, err := spec.ShardCells(ref)
 	if err != nil {
 		return nil, err
 	}
-	return scenario.Assemble(spec, outcomes, newScenarioComparer(spec))
+	outcomes, execErr := scenario.ExecuteCells(ctx, spec, cells, func(ctx context.Context, cell ScenarioCell) (scenario.Outcome, error) {
+		return runScenarioCell(ctx, spec, cell)
+	})
+	if execErr != nil && outcomes == nil {
+		return nil, execErr
+	}
+	rep, err := scenario.AssembleCells(spec, ref, cells, outcomes, newScenarioComparer(spec))
+	if err != nil {
+		return nil, err
+	}
+	if execErr != nil && !rep.Incomplete {
+		// Cancellation landed after every cell had already finished: the
+		// report is exactly what an uninterrupted run would have produced,
+		// so don't surface the interrupt.
+		execErr = nil
+	}
+	return rep, execErr
 }
 
 // scenarioSetup materializes the seed-determined, strategy-independent part

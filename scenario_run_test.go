@@ -3,6 +3,7 @@ package goldfish
 import (
 	"bytes"
 	"context"
+	"fmt"
 	"strings"
 	"testing"
 
@@ -125,12 +126,82 @@ func TestRunScenarioValidatesSpec(t *testing.T) {
 	if _, err := RunScenario(context.Background(), ScenarioSpec{}); err == nil {
 		t.Error("empty spec accepted")
 	}
+	// A schedule reaching past the PRESET-resolved round budget (Rounds
+	// unset) must be rejected up front, not silently skipped or left to fail
+	// every cell at run time.
 	spec := tinyScenario()
 	spec.Rounds = 0 // preset default (6 at tiny) — schedule round 2 still valid
 	spec.Schedule[0].Round = 99
+	if err := ValidateScenario(spec); err == nil || !strings.Contains(err.Error(), "resolved budget") {
+		t.Errorf("ValidateScenario = %v, want a resolved-budget error", err)
+	}
 	if _, err := RunScenario(context.Background(), spec); err == nil {
-		// The budget is only resolvable per cell; the cell must fail.
-		t.Log("spec-level validation passed; relying on cell-level check")
+		t.Error("RunScenario accepted a schedule beyond the resolved budget")
+	}
+	spec.Schedule[0].Round = 2
+	if err := ValidateScenario(spec); err != nil {
+		t.Errorf("in-budget schedule rejected: %v", err)
+	}
+}
+
+// TestRunScenarioShardMergePublicSurface is the public acceptance path:
+// -shard 1/2 + -shard 2/2 + merge must be byte-identical to the unsharded
+// run, with VsRetrain populated in every partial.
+func TestRunScenarioShardMergePublicSurface(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a 4-cell matrix three times")
+	}
+	ctx := context.Background()
+	spec := tinyScenario()
+	full, err := RunScenario(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := full.MarshalIndent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var parts []*ScenarioReport
+	for i := 1; i <= 2; i++ {
+		p, err := RunScenarioShard(ctx, spec, fmt.Sprintf("%d/2", i))
+		if err != nil {
+			t.Fatalf("shard %d/2: %v", i, err)
+		}
+		if err := p.Complete(); err != nil {
+			t.Fatalf("shard %d/2 incomplete: %v", i, err)
+		}
+		if len(p.Cells) == 0 {
+			t.Fatalf("shard %d/2 is empty", i)
+		}
+		for _, row := range p.Cells {
+			if row.Strategy != "retrain" && row.VsRetrain == nil {
+				t.Errorf("shard %d/2: %s/seed %d missing VsRetrain in the partial", i, row.Strategy, row.Seed)
+			}
+		}
+		parts = append(parts, p)
+	}
+	merged, err := MergeScenarioReports(parts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := merged.MarshalIndent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Error("merged shard reports differ from the single-machine report bytes")
+	}
+	if _, err := RunScenarioShard(ctx, spec, "5/2"); err == nil {
+		t.Error("out-of-range shard accepted")
+	}
+
+	// Self-diff of a real report: no regressions, exit path stays green.
+	d, err := DiffScenarioReports(full, merged, ScenarioDiffOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.HasRegressions() {
+		t.Errorf("self-diff of a real report regressed: %+v", d.Regressions())
 	}
 }
 
@@ -199,5 +270,15 @@ func TestRunScenarioPoisonedDeletionTracksShiftedClient(t *testing.T) {
 		t.Error("poisoned deletion after the attacked client departed reported complete")
 	} else if !strings.Contains(err.Error(), "departed") {
 		t.Errorf("unexpected failure: %v", err)
+	}
+}
+
+func TestParseScenarioShardPublic(t *testing.T) {
+	ref, err := ParseScenarioShard("2/3")
+	if err != nil || ref.Index != 2 || ref.Count != 3 {
+		t.Errorf("ParseScenarioShard = %+v, %v", ref, err)
+	}
+	if _, err := ParseScenarioShard("4/3"); err == nil {
+		t.Error("out-of-range shard accepted")
 	}
 }
