@@ -1,9 +1,11 @@
 // Command goldfish-scenario runs a declarative unlearning experiment matrix
-// from a JSON spec file: dataset and partitioner, optional backdoor
-// injection, a deletion schedule (sample-, class- or client-level requests
-// at given rounds), and the strategy × seed × shard axes. Cells execute
-// concurrently and the structured report is deterministic — two runs of the
-// same spec produce byte-identical JSON.
+// from a JSON spec file: dataset and partitioner, optional attack injection
+// (a single attack.type, or an attack.types axis sweeping several probe
+// styles — "backdoor", "label-flip", "targeted-class"), a deletion schedule
+// (sample-, class- or client-level requests at given rounds), and the
+// strategy × seed × shard × attack axes. Cells execute concurrently and the
+// structured report is deterministic — two runs of the same spec produce
+// byte-identical JSON.
 //
 // Usage:
 //
@@ -120,8 +122,12 @@ func run() int {
 				return 2
 			}
 			cells := spec.Cells()
-			fmt.Printf("%s: valid (%d strategies × %d seeds × %d shard counts = %d cells)\n",
-				*config, len(spec.Strategies), len(spec.SeedList()), len(spec.ShardList()), len(cells))
+			axes := fmt.Sprintf("%d strategies × %d seeds × %d shard counts",
+				len(spec.Strategies), len(spec.SeedList()), len(spec.ShardList()))
+			if spec.Attack != nil {
+				axes += fmt.Sprintf(" × %d attack types", len(spec.AttackList()))
+			}
+			fmt.Printf("%s: valid (%s = %d cells)\n", *config, axes, len(cells))
 			if *shard != "" {
 				ref, err := goldfish.ParseScenarioShard(*shard)
 				if err != nil {

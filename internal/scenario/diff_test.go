@@ -232,6 +232,65 @@ func TestDiffRecordsFailuresAndAxisChanges(t *testing.T) {
 	}
 }
 
+// TestDiffAttackAxisAndNilASR: cells are matched per attack type, the
+// significance tests group by (strategy, τ, attack), ASR resurfacing on one
+// probe style is attributed to that style alone, and a side with a nil ASR
+// (the probe was unavailable) degrades to a nil delta instead of a panic.
+func TestDiffAttackAxisAndNilASR(t *testing.T) {
+	spec := diffSpec()
+	spec.Attack = &AttackSpec{
+		Types: []string{"backdoor", "label-flip"}, Fraction: 0.3, TargetLabel: 0,
+	}
+	old := diffReport(t, spec, baseCell)
+	cur := diffReport(t, spec, func(c Cell) CellResult {
+		r := baseCell(c)
+		switch {
+		case c.Attack == "label-flip" && c.Strategy == "goldfish":
+			asr := *r.ASR + 0.30 // the flip resurfaces for goldfish only
+			r.ASR = &asr
+		case c.Attack == "backdoor" && c.Strategy == "retrain":
+			r.ASR = nil // probe unavailable on this side
+		}
+		return r
+	})
+	d, err := Diff(old, cur, DiffOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cd := range d.Cells {
+		if cd.Attack == "" {
+			t.Fatalf("cell delta %s/seed %d lost its attack label", cd.Strategy, cd.Seed)
+		}
+		if cd.Strategy == "retrain" && cd.Attack == "backdoor" {
+			if cd.ASR != nil {
+				t.Errorf("nil-ASR side produced a delta: %+v", cd.ASR)
+			}
+			if cd.Accuracy == nil {
+				t.Error("accuracy delta lost alongside the nil ASR")
+			}
+		}
+	}
+	regs := d.Regressions()
+	if len(regs) != 1 {
+		t.Fatalf("regressions = %+v, want exactly the goldfish label-flip ASR", regs)
+	}
+	if regs[0].Strategy != "goldfish" || regs[0].Attack != "label-flip" || regs[0].Metric != MetricASR {
+		t.Errorf("flagged %s/%s/%s", regs[0].Strategy, regs[0].Attack, regs[0].Metric)
+	}
+	// The backdoor plane keeps ASR tests on the strategies that carried the
+	// probe on both sides; retrain's nil side contributes no samples.
+	for _, mt := range d.Tests {
+		if mt.Strategy == "retrain" && mt.Attack == "backdoor" && mt.Metric == MetricASR {
+			t.Errorf("ASR test ran over a nil-ASR side: %+v", mt)
+		}
+	}
+	var sb strings.Builder
+	d.RenderText(&sb)
+	if !strings.Contains(sb.String(), "label-flip") {
+		t.Errorf("RenderText omits the attack column:\n%s", sb.String())
+	}
+}
+
 func TestDiffOptionValidationAndRender(t *testing.T) {
 	rep := diffReport(t, diffSpec(), baseCell)
 	if _, err := Diff(rep, rep, DiffOptions{Alpha: 1.5}); err == nil {

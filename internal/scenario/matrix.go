@@ -8,30 +8,38 @@ import (
 )
 
 // Cell is one point of the run matrix: a strategy trained at a seed with a
-// local shard count, over the spec's shared dataset/partition/schedule.
+// local shard count under one attack probe, over the spec's shared
+// dataset/partition/schedule.
 type Cell struct {
 	// Strategy is the unlearner registry name.
 	Strategy string
 	// Seed drives the cell's data generation, partitioning and model
-	// initialization. Cells sharing a seed see identical data, partitions
-	// and poisoning, which is what makes cross-strategy comparison fair.
+	// initialization. Cells sharing a seed see identical data and
+	// partitions, which is what makes cross-strategy comparison fair;
+	// poisoning additionally depends on the cell's attack type.
 	Seed int64
 	// Shards is τ, the local SISA shard count.
 	Shards int
+	// Attack is the attack-probe type poisoning the cell's data ("" when
+	// the spec has no attack).
+	Attack string
 	// Index is the cell's position in Spec.Cells() order.
 	Index int
 }
 
 // Cells expands the spec's run matrix in deterministic order:
-// strategy-major, then seed, then shard count.
+// strategy-major, then seed, then shard count, then attack type.
 func (s Spec) Cells() []Cell {
 	seeds := s.SeedList()
 	shards := s.ShardList()
-	out := make([]Cell, 0, len(s.Strategies)*len(seeds)*len(shards))
+	attacks := s.AttackList()
+	out := make([]Cell, 0, len(s.Strategies)*len(seeds)*len(shards)*len(attacks))
 	for _, strat := range s.Strategies {
 		for _, seed := range seeds {
 			for _, sh := range shards {
-				out = append(out, Cell{Strategy: strat, Seed: seed, Shards: sh, Index: len(out)})
+				for _, atk := range attacks {
+					out = append(out, Cell{Strategy: strat, Seed: seed, Shards: sh, Attack: atk, Index: len(out)})
+				}
 			}
 		}
 	}
@@ -107,7 +115,7 @@ func ExecuteCells(ctx context.Context, spec Spec, cells []Cell, run Runner) ([]O
 				} else {
 					o = res
 				}
-				o.Result.Strategy, o.Result.Seed, o.Result.Shards = c.Strategy, c.Seed, c.Shards
+				o.Result.Strategy, o.Result.Seed, o.Result.Shards, o.Result.Attack = c.Strategy, c.Seed, c.Shards, c.Attack
 				out[i] = o
 			}
 		}()

@@ -14,10 +14,15 @@ type cellKey struct {
 	strategy string
 	seed     int64
 	shards   int
+	attack   string
 }
 
 func (k cellKey) String() string {
-	return fmt.Sprintf("%s/seed %d/τ=%d", k.strategy, k.seed, k.shards)
+	s := fmt.Sprintf("%s/seed %d/τ=%d", k.strategy, k.seed, k.shards)
+	if k.attack != "" {
+		s += "/" + k.attack
+	}
+	return s
 }
 
 // Merge recombines partial reports of one spec — machine shards from
@@ -56,7 +61,7 @@ func Merge(reports ...*Report) (*Report, error) {
 	cells := spec.Cells()
 	index := make(map[cellKey]int, len(cells))
 	for _, c := range cells {
-		index[cellKey{c.Strategy, c.Seed, c.Shards}] = c.Index
+		index[cellKey{c.Strategy, c.Seed, c.Shards, c.Attack}] = c.Index
 	}
 	rows := make([]*CellResult, len(cells))
 	source := make([]int, len(cells))
@@ -71,7 +76,7 @@ func Merge(reports ...*Report) (*Report, error) {
 			return nil, fmt.Errorf("scenario: merge input %d was run from a different spec than input 0", ri)
 		}
 		for _, row := range r.Cells {
-			k := cellKey{row.Strategy, row.Seed, row.Shards}
+			k := cellKey{row.Strategy, row.Seed, row.Shards, row.Attack}
 			i, ok := index[k]
 			if !ok {
 				return nil, fmt.Errorf("scenario: merge input %d has cell %s, which is not in the spec's matrix", ri, k)
@@ -97,7 +102,7 @@ func Merge(reports ...*Report) (*Report, error) {
 	var missing []string
 	for i, c := range cells {
 		if rows[i] == nil {
-			missing = append(missing, cellKey{c.Strategy, c.Seed, c.Shards}.String())
+			missing = append(missing, cellKey{c.Strategy, c.Seed, c.Shards, c.Attack}.String())
 		}
 	}
 	if total := len(missing); total > 0 {

@@ -13,7 +13,7 @@ import (
 func fakeOutcome(c Cell) Outcome {
 	var o Outcome
 	o.Result.Rounds = 4
-	o.Result.Accuracy = 0.5 + 0.01*float64(c.Seed) + 0.001*float64(c.Shards)
+	o.Result.Accuracy = 0.5 + 0.01*float64(c.Seed) + 0.001*float64(c.Shards) + 0.0001*float64(len(c.Attack))
 	o.State = []float64{float64(c.Seed), float64(c.Shards), float64(len(c.Strategy))}
 	return o
 }
@@ -94,6 +94,45 @@ func TestMergeShardsByteIdentical(t *testing.T) {
 		if !bytes.Equal(got, want) {
 			t.Errorf("k=%d: merged report differs from the single-machine report", k)
 		}
+	}
+}
+
+// TestMergeShardsAttackAxisByteIdentical: the tentpole property holds with
+// an attack axis — k partials of an attack-sweep matrix merge back into
+// bytes identical to the single-machine report, and a row whose attack label
+// does not belong to the matrix is rejected instead of silently adopted.
+func TestMergeShardsAttackAxisByteIdentical(t *testing.T) {
+	spec := shardSpec()
+	spec.Attack = &AttackSpec{
+		Types: []string{"backdoor", "label-flip"}, Fraction: 0.3, TargetLabel: 0,
+	}
+	want, err := fullFakeReport(t, spec).MarshalIndent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 2; k <= 5; k++ {
+		parts := make([]*Report, 0, k)
+		for i := 1; i <= k; i++ {
+			parts = append(parts, shardFakeReport(t, spec, ShardRef{Index: i, Count: k}))
+		}
+		merged, err := Merge(parts...)
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		got, err := merged.MarshalIndent()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("k=%d: merged attack-sweep bytes differ from the single-machine report", k)
+		}
+	}
+	// A row addressed to an attack type outside the matrix fails loudly.
+	a := shardFakeReport(t, spec, ShardRef{Index: 1, Count: 2})
+	b := shardFakeReport(t, spec, ShardRef{Index: 2, Count: 2})
+	b.Cells[0].Attack = "targeted-class"
+	if _, err := Merge(a, b); err == nil || !strings.Contains(err.Error(), "not in the spec's matrix") {
+		t.Errorf("Merge with a foreign attack label = %v", err)
 	}
 }
 
@@ -319,6 +358,38 @@ func TestMergeDedupesInterruptedRerun(t *testing.T) {
 	if _, err := Merge(rerun, rerun, other); err == nil ||
 		!strings.Contains(err.Error(), "appears in both") {
 		t.Errorf("identical complete duplicates accepted: %v", err)
+	}
+}
+
+// TestParseReportMigratesLegacyAttackRows: a report written before rows
+// carried an "attack" stamp (single-type attack spec, rows keyed attack="")
+// must load, adopt the spec's type, and pass Complete — not be rejected as
+// outside the matrix.
+func TestParseReportMigratesLegacyAttackRows(t *testing.T) {
+	legacy := []byte(`{
+  "name": "legacy",
+  "spec": {
+    "name": "legacy",
+    "dataset": "mnist",
+    "scale": "tiny",
+    "rounds": 2,
+    "attack": {"type": "backdoor", "client": 0, "fraction": 0.3, "target_label": 0},
+    "strategies": ["goldfish"],
+    "seeds": [1]
+  },
+  "cells": [
+    {"strategy": "goldfish", "seed": 1, "shards": 1, "rounds": 2, "removed_rows": 0, "accuracy": 0.5}
+  ]
+}`)
+	r, err := ParseReport(legacy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Cells[0].Attack; got != "backdoor" {
+		t.Errorf("legacy row migrated to attack %q, want backdoor", got)
+	}
+	if err := r.Complete(); err != nil {
+		t.Errorf("migrated legacy report failed Complete: %v", err)
 	}
 }
 

@@ -44,7 +44,7 @@ func renderTable(w io.Writer, cols []string, rows [][]string) {
 // RetrainReference is the strategy name used as the comparison reference for
 // model-similarity metrics: when a spec's strategy axis includes it, every
 // other strategy's cell is compared against the retrain cell of the same
-// seed and shard count.
+// seed, shard count and attack type.
 const RetrainReference = "retrain"
 
 // Comparison holds model-similarity statistics of a cell's final model
@@ -66,6 +66,8 @@ type CellResult struct {
 	Strategy string `json:"strategy"`
 	Seed     int64  `json:"seed"`
 	Shards   int    `json:"shards"`
+	// Attack is the cell's attack-probe type (omitted without an attack).
+	Attack string `json:"attack,omitempty"`
 	// Rounds is the number of federation rounds the cell ran.
 	Rounds int `json:"rounds"`
 	// RemovedRows counts samples deleted by the schedule; RemovedClients
@@ -76,15 +78,16 @@ type CellResult struct {
 	// before the first deletion request (nil without a schedule).
 	Accuracy            float64  `json:"accuracy"`
 	PreDeletionAccuracy *float64 `json:"pre_deletion_accuracy,omitempty"`
-	// ASR is the backdoor attack success rate (nil without an attack);
-	// PreDeletionASR snapshots it before the first deletion.
+	// ASR is the cell's attack success rate, measured by its attack type's
+	// own probe (nil without an attack); PreDeletionASR snapshots it before
+	// the first deletion.
 	ASR            *float64 `json:"attack_success_rate,omitempty"`
 	PreDeletionASR *float64 `json:"pre_deletion_attack_success_rate,omitempty"`
 	// MembershipGap is the confidence-based membership signal on the forget
 	// set (nil when nothing was deleted).
 	MembershipGap *float64 `json:"membership_gap,omitempty"`
 	// VsRetrain compares the cell's final model against the retrain
-	// reference cell of the same seed and shard count.
+	// reference cell of the same seed, shard count and attack type.
 	VsRetrain *Comparison `json:"vs_retrain,omitempty"`
 	// Error records a failed cell; all metric fields are zero then.
 	Error string `json:"error,omitempty"`
@@ -110,7 +113,8 @@ type Report struct {
 }
 
 // CompareFunc compares a cell's final state against the retrain reference
-// state of the same seed and shard count, over the cell's probe data.
+// state of the same seed, shard count and attack type, over the cell's probe
+// data.
 type CompareFunc func(cell Cell, state, ref []float64) (*Comparison, error)
 
 // Assemble builds the report from executed outcomes: it fills the VsRetrain
@@ -152,16 +156,19 @@ func AssembleCells(spec Spec, shard ShardRef, cells []Cell, outcomes []Outcome, 
 			hasRef = true
 		}
 	}
-	// Index retrain outcomes by (seed, shards), positions within the subset.
+	// Index retrain outcomes by (seed, shards, attack), positions within the
+	// subset: cells of different attack types train on differently poisoned
+	// data, so each attack plane carries its own retrain reference.
 	type key struct {
 		seed   int64
 		shards int
+		attack string
 	}
 	refs := map[key]int{}
 	if hasRef {
 		for i, c := range cells {
 			if c.Strategy == RetrainReference {
-				refs[key{c.Seed, c.Shards}] = i
+				refs[key{c.Seed, c.Shards, c.Attack}] = i
 			}
 		}
 	}
@@ -175,9 +182,9 @@ func AssembleCells(spec Spec, shard ShardRef, cells []Cell, outcomes []Outcome, 
 		}
 		row := o.Result
 		// Label the row from the matrix itself; outcomes are positional.
-		row.Strategy, row.Seed, row.Shards = c.Strategy, c.Seed, c.Shards
+		row.Strategy, row.Seed, row.Shards, row.Attack = c.Strategy, c.Seed, c.Shards, c.Attack
 		if hasRef && compare != nil && c.Strategy != RetrainReference && row.Error == "" && o.State != nil {
-			if ri, ok := refs[key{c.Seed, c.Shards}]; ok {
+			if ri, ok := refs[key{c.Seed, c.Shards, c.Attack}]; ok {
 				if outcomes[ri].Canceled {
 					// The reference never finished; a completed run would
 					// have compared against it, so this row is unusable.
@@ -228,13 +235,14 @@ func (r *Report) Complete() error {
 	}
 	for i, c := range cells {
 		row := r.Cells[i]
-		if row.Strategy != c.Strategy || row.Seed != c.Seed || row.Shards != c.Shards {
-			return fmt.Errorf("scenario: cell %d is %s/seed %d/τ=%d, want %s/seed %d/τ=%d",
-				i, row.Strategy, row.Seed, row.Shards, c.Strategy, c.Seed, c.Shards)
+		if row.Strategy != c.Strategy || row.Seed != c.Seed || row.Shards != c.Shards || row.Attack != c.Attack {
+			return fmt.Errorf("scenario: cell %d is %s, want %s",
+				i, cellKey{row.Strategy, row.Seed, row.Shards, row.Attack},
+				cellKey{c.Strategy, c.Seed, c.Shards, c.Attack})
 		}
 		if row.Error != "" {
-			return fmt.Errorf("scenario: cell %s/seed %d/τ=%d failed: %s",
-				row.Strategy, row.Seed, row.Shards, row.Error)
+			return fmt.Errorf("scenario: cell %s failed: %s",
+				cellKey{row.Strategy, row.Seed, row.Shards, row.Attack}, row.Error)
 		}
 	}
 	return nil
@@ -284,13 +292,25 @@ func ParseReport(b []byte) (*Report, error) {
 			return nil, err
 		}
 	}
+	// Reports written before rows carried an attack stamp key as attack=""
+	// while the matrix keys by the spec's attack type. With a single-type
+	// attack the migration is unambiguous (multi-type specs postdate the
+	// stamp), so adopt the spec's type instead of rejecting every legacy
+	// baseline with a misleading matrix-membership error.
+	if att := r.Spec.AttackList(); len(att) == 1 && att[0] != "" {
+		for i := range r.Cells {
+			if r.Cells[i].Attack == "" {
+				r.Cells[i].Attack = att[0]
+			}
+		}
+	}
 	matrix := map[cellKey]bool{}
 	for _, c := range r.Spec.Cells() {
-		matrix[cellKey{c.Strategy, c.Seed, c.Shards}] = true
+		matrix[cellKey{c.Strategy, c.Seed, c.Shards, c.Attack}] = true
 	}
 	seen := map[cellKey]bool{}
 	for _, row := range r.Cells {
-		k := cellKey{row.Strategy, row.Seed, row.Shards}
+		k := cellKey{row.Strategy, row.Seed, row.Shards, row.Attack}
 		if !matrix[k] {
 			return nil, fmt.Errorf("scenario: report cell %s is not in the spec's matrix", k)
 		}
@@ -325,7 +345,7 @@ func (r *Report) RenderText(w io.Writer) {
 		note += ", INCOMPLETE"
 	}
 	fmt.Fprintf(w, "=== scenario %s — %s (%d cells%s) ===\n", r.Name, r.Spec.Dataset, len(r.Cells), note)
-	cols := []string{"strategy", "seed", "tau", "rounds", "removed", "acc", "asr", "memgap", "jsd-vs-retrain", "error"}
+	cols := []string{"strategy", "seed", "tau", "attack", "rounds", "removed", "acc", "asr", "memgap", "jsd-vs-retrain", "error"}
 	rows := make([][]string, 0, len(r.Cells))
 	opt := func(v *float64) string {
 		if v == nil {
@@ -342,10 +362,15 @@ func (r *Report) RenderText(w io.Writer) {
 		if c.VsRetrain != nil {
 			jsd = fmt.Sprintf("%.4f", c.VsRetrain.JSD)
 		}
+		atk := c.Attack
+		if atk == "" {
+			atk = "-"
+		}
 		rows = append(rows, []string{
 			c.Strategy,
 			fmt.Sprintf("%d", c.Seed),
 			fmt.Sprintf("%d", c.Shards),
+			atk,
 			fmt.Sprintf("%d", c.Rounds),
 			removed,
 			fmt.Sprintf("%.4f", c.Accuracy),

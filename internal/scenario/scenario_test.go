@@ -39,6 +39,8 @@ func TestSpecValidate(t *testing.T) {
 		{"dup seed", func(s *Spec) { s.Seeds = []int64{3, 3} }},
 		{"seeds and reps", func(s *Spec) { s.Repetitions = 2 }},
 		{"neg reps", func(s *Spec) { s.Seeds = nil; s.Repetitions = -1 }},
+		{"huge reps", func(s *Spec) { s.Seeds = nil; s.Repetitions = 1 << 62 }},
+		{"huge matrix", func(s *Spec) { s.Seeds = nil; s.Repetitions = MaxCells }},
 		{"zero shard", func(s *Spec) { s.Shards = []int{0} }},
 		{"dup shard", func(s *Spec) { s.Shards = []int{2, 2} }},
 		{"neg clients", func(s *Spec) { s.Clients = -1 }},
@@ -47,9 +49,26 @@ func TestSpecValidate(t *testing.T) {
 		{"bad partitioner", func(s *Spec) { s.Partition = &PartitionSpec{Type: "sorted"} }},
 		{"het skew", func(s *Spec) { s.Partition = &PartitionSpec{Type: PartitionHeterogeneous, Skew: 2} }},
 		{"dirichlet alpha", func(s *Spec) { s.Partition = &PartitionSpec{Type: PartitionDirichlet} }},
-		{"bad attack type", func(s *Spec) { s.Attack = &AttackSpec{Type: "label-flip", Fraction: 0.1} }},
+		{"bad attack type", func(s *Spec) { s.Attack = &AttackSpec{Type: "gradient-inversion", Fraction: 0.1} }},
+		{"no attack type", func(s *Spec) { s.Attack = &AttackSpec{Fraction: 0.1} }},
+		{"type and types", func(s *Spec) {
+			s.Attack = &AttackSpec{Type: "backdoor", Types: []string{"label-flip"}, Fraction: 0.1}
+		}},
+		{"dup attack type", func(s *Spec) {
+			s.Attack = &AttackSpec{Types: []string{"backdoor", "backdoor"}, Fraction: 0.1}
+		}},
+		{"bad type in types", func(s *Spec) {
+			s.Attack = &AttackSpec{Types: []string{"backdoor", "gradient-inversion"}, Fraction: 0.1}
+		}},
 		{"attack fraction", func(s *Spec) { s.Attack = &AttackSpec{Type: "backdoor", Fraction: 0} }},
 		{"neg attack client", func(s *Spec) { s.Attack = &AttackSpec{Type: "backdoor", Fraction: 0.1, Client: -1} }},
+		{"neg attack patch", func(s *Spec) { s.Attack = &AttackSpec{Type: "backdoor", Fraction: 0.1, PatchSize: -1} }},
+		{"targeted source equals target", func(s *Spec) {
+			s.Attack = &AttackSpec{Type: "targeted-class", Fraction: 0.1, TargetLabel: 1, SourceClass: 1}
+		}},
+		{"targeted bad strength", func(s *Spec) {
+			s.Attack = &AttackSpec{Type: "targeted-class", Fraction: 0.1, SourceClass: 1, Strength: 2}
+		}},
 		{"schedule neg round", func(s *Spec) {
 			s.Schedule = []DeletionSpec{{Round: -1, Type: DeleteSample, Rows: []int{0}}}
 		}},
@@ -128,12 +147,41 @@ func TestCellsOrderAndIndex(t *testing.T) {
 		t.Fatalf("len(cells) = %d, want 8", len(cells))
 	}
 	want := []Cell{
-		{"goldfish", 1, 1, 0}, {"goldfish", 1, 4, 1}, {"goldfish", 2, 1, 2}, {"goldfish", 2, 4, 3},
-		{"retrain", 1, 1, 4}, {"retrain", 1, 4, 5}, {"retrain", 2, 1, 6}, {"retrain", 2, 4, 7},
+		{"goldfish", 1, 1, "", 0}, {"goldfish", 1, 4, "", 1}, {"goldfish", 2, 1, "", 2}, {"goldfish", 2, 4, "", 3},
+		{"retrain", 1, 1, "", 4}, {"retrain", 1, 4, "", 5}, {"retrain", 2, 1, "", 6}, {"retrain", 2, 4, "", 7},
 	}
 	for i, c := range cells {
 		if c != want[i] {
 			t.Errorf("cells[%d] = %+v, want %+v", i, c, want[i])
+		}
+	}
+}
+
+// TestCellsAttackAxis: listing several attack types multiplies the matrix by
+// an attack dimension, attack-minor, and every cell is stamped with its type.
+func TestCellsAttackAxis(t *testing.T) {
+	s := validSpec()
+	s.Attack = &AttackSpec{Types: []string{"backdoor", "label-flip"}, Fraction: 0.2, TargetLabel: 0}
+	cells := s.Cells()
+	if len(cells) != 2*2*1*2 {
+		t.Fatalf("len(cells) = %d, want 8", len(cells))
+	}
+	want := []Cell{
+		{"goldfish", 1, 1, "backdoor", 0}, {"goldfish", 1, 1, "label-flip", 1},
+		{"goldfish", 2, 1, "backdoor", 2}, {"goldfish", 2, 1, "label-flip", 3},
+		{"retrain", 1, 1, "backdoor", 4}, {"retrain", 1, 1, "label-flip", 5},
+		{"retrain", 2, 1, "backdoor", 6}, {"retrain", 2, 1, "label-flip", 7},
+	}
+	for i, c := range cells {
+		if c != want[i] {
+			t.Errorf("cells[%d] = %+v, want %+v", i, c, want[i])
+		}
+	}
+	// A single-type attack stamps every cell with that type.
+	s.Attack = &AttackSpec{Type: "backdoor", Fraction: 0.2, TargetLabel: 0}
+	for _, c := range s.Cells() {
+		if c.Attack != "backdoor" {
+			t.Fatalf("cell %+v missing its attack stamp", c)
 		}
 	}
 }

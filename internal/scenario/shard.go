@@ -61,13 +61,13 @@ func (r ShardRef) String() string {
 // ShardCells returns the deterministic subset of the spec's matrix assigned
 // to the given machine shard, in Cells() order with original matrix indices.
 //
-// The unit of assignment is the (seed, τ) group — every strategy's cell for
-// one seed and SISA shard count — handed round-robin to shards in seed-major,
-// τ-minor order. Grouping this way co-locates each "retrain" reference cell
-// with all the cells that compare against it, so VsRetrain stays computable
-// inside a single shard and a merged report is byte-identical to an
-// unsharded run. A zero ref selects the whole matrix; a shard beyond the
-// group count is valid but empty.
+// The unit of assignment is the (seed, τ, attack) group — every strategy's
+// cell for one seed, SISA shard count and attack probe — handed round-robin
+// to shards in seed-major, τ-middle, attack-minor order. Grouping this way
+// co-locates each "retrain" reference cell with all the cells that compare
+// against it, so VsRetrain stays computable inside a single shard and a
+// merged report is byte-identical to an unsharded run. A zero ref selects
+// the whole matrix; a shard beyond the group count is valid but empty.
 func (s Spec) ShardCells(ref ShardRef) ([]Cell, error) {
 	cells := s.Cells()
 	if ref.IsZero() {
@@ -77,6 +77,7 @@ func (s Spec) ShardCells(ref ShardRef) ([]Cell, error) {
 		return nil, err
 	}
 	shards := s.ShardList()
+	attacks := s.AttackList()
 	seedPos := make(map[int64]int, len(s.SeedList()))
 	for i, seed := range s.SeedList() {
 		seedPos[seed] = i
@@ -85,9 +86,13 @@ func (s Spec) ShardCells(ref ShardRef) ([]Cell, error) {
 	for i, sh := range shards {
 		shardPos[sh] = i
 	}
+	attackPos := make(map[string]int, len(attacks))
+	for i, a := range attacks {
+		attackPos[a] = i
+	}
 	var out []Cell
 	for _, c := range cells {
-		group := seedPos[c.Seed]*len(shards) + shardPos[c.Shards]
+		group := (seedPos[c.Seed]*len(shards)+shardPos[c.Shards])*len(attacks) + attackPos[c.Attack]
 		if group%ref.Count == ref.Index-1 {
 			out = append(out, c)
 		}

@@ -114,6 +114,58 @@ func TestShardCellsColocatesRetrain(t *testing.T) {
 	}
 }
 
+// TestShardCellsAttackAxis extends both sharding properties to the attack
+// dimension: with an attack axis the shards still partition the matrix
+// exactly, and every shard keeps the retrain reference of each
+// (seed, τ, attack) group co-located with its comparands — references of one
+// attack plane must not be used for another, since the planes train on
+// differently poisoned data.
+func TestShardCellsAttackAxis(t *testing.T) {
+	spec := shardSpec()
+	spec.Attack = &AttackSpec{
+		Types: []string{"backdoor", "label-flip", "targeted-class"}, Fraction: 0.3, TargetLabel: 0, SourceClass: 1,
+	}
+	all := spec.Cells()
+	if len(all) != 3*3*2*3 {
+		t.Fatalf("matrix has %d cells, want 54", len(all))
+	}
+	for n := 1; n <= 8; n++ {
+		seen := make([]int, len(all))
+		for i := 1; i <= n; i++ {
+			cells, err := spec.ShardCells(ShardRef{Index: i, Count: n})
+			if err != nil {
+				t.Fatal(err)
+			}
+			type key struct {
+				seed   int64
+				shards int
+				attack string
+			}
+			refs := map[key]bool{}
+			for _, c := range cells {
+				if c != all[c.Index] {
+					t.Errorf("shard %d/%d carries cell %+v, matrix has %+v", i, n, c, all[c.Index])
+				}
+				seen[c.Index]++
+				if c.Strategy == RetrainReference {
+					refs[key{c.Seed, c.Shards, c.Attack}] = true
+				}
+			}
+			for _, c := range cells {
+				if c.Strategy != RetrainReference && !refs[key{c.Seed, c.Shards, c.Attack}] {
+					t.Errorf("shard %d/%d has %s/seed %d/τ=%d/%s without its retrain reference",
+						i, n, c.Strategy, c.Seed, c.Shards, c.Attack)
+				}
+			}
+		}
+		for idx, count := range seen {
+			if count != 1 {
+				t.Errorf("n=%d: cell %d assigned to %d shards", n, idx, count)
+			}
+		}
+	}
+}
+
 func TestShardCellsZeroRefAndValidation(t *testing.T) {
 	spec := shardSpec()
 	cells, err := spec.ShardCells(ShardRef{})

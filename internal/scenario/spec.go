@@ -1,7 +1,8 @@
 // Package scenario turns unlearning experiments into data: a declarative
 // JSON Spec describes the dataset, client partitioning, optional attack
-// injection, a deletion schedule (sample-, class- or client-level requests
-// at given rounds) and the strategy × seed × shard axes of a run matrix.
+// injection (one or several attack-probe styles from internal/attack), a
+// deletion schedule (sample-, class- or client-level requests at given
+// rounds) and the strategy × seed × shard × attack axes of a run matrix.
 // Expanding a Spec yields Cells; Execute runs them concurrently on a bounded
 // worker pool via a caller-supplied Runner (the public goldfish.RunScenario
 // builds cells on goldfish.New); the assembled Report is deterministic for a
@@ -14,6 +15,8 @@ import (
 	"os"
 	"sort"
 	"strings"
+
+	"goldfish/internal/attack"
 )
 
 // Partitioner names accepted by PartitionSpec.Type.
@@ -48,21 +51,54 @@ type PartitionSpec struct {
 	Alpha float64 `json:"alpha,omitempty"`
 }
 
-// AttackSpec injects a backdoor trigger attack into one client's partition,
-// the paper's probe for verifying unlearning.
+// AttackSpec injects a poisoning attack into one client's partition — the
+// probe verifying that unlearning actually removes the poison's influence.
+// Attack types come from the internal/attack registry ("backdoor",
+// "label-flip", "targeted-class"); Types makes the attack a first-class
+// matrix axis, so one spec sweeps several probe styles over shared knobs.
 type AttackSpec struct {
-	// Type is "backdoor" (the only attack currently).
-	Type string `json:"type"`
+	// Type selects a single attack type (attack registry name).
+	Type string `json:"type,omitempty"`
+	// Types is the attack matrix axis: every cell of the strategy × seed ×
+	// shard matrix is repeated once per listed attack type. Mutually
+	// exclusive with Type.
+	Types []string `json:"types,omitempty"`
 	// Client is the partition index to poison.
 	Client int `json:"client"`
-	// Fraction of the client's rows to poison, in (0,1].
+	// Fraction of the client's eligible rows to poison, in (0,1].
 	Fraction float64 `json:"fraction"`
-	// TargetLabel is the class the trigger elicits.
+	// TargetLabel is the class the attack drives predictions towards.
 	TargetLabel int `json:"target_label"`
-	// PatchSize is the trigger patch side length (default 3).
+	// PatchSize is the backdoor trigger patch side length (default 3).
 	PatchSize int `json:"patch_size,omitempty"`
-	// PatchValue is the pixel value of the patch (default 3).
+	// PatchValue is the pixel value of the backdoor patch (default 3).
 	PatchValue float64 `json:"patch_value,omitempty"`
+	// SourceClass is the class the targeted-class attack perturbs towards
+	// the target.
+	SourceClass int `json:"source_class,omitempty"`
+	// Strength is the targeted-class feature blend in [0,1]; 0 selects the
+	// default 0.5.
+	Strength float64 `json:"strength,omitempty"`
+}
+
+// TypeList resolves the attack-type axis: Types when set, else [Type].
+func (a *AttackSpec) TypeList() []string {
+	if len(a.Types) > 0 {
+		return a.Types
+	}
+	return []string{a.Type}
+}
+
+// Config converts the spec's shared knobs into an attack configuration.
+func (a *AttackSpec) Config() attack.Config {
+	return attack.Config{
+		Fraction:    a.Fraction,
+		TargetLabel: a.TargetLabel,
+		PatchSize:   a.PatchSize,
+		PatchValue:  a.PatchValue,
+		SourceClass: a.SourceClass,
+		Strength:    a.Strength,
+	}
 }
 
 // DeletionSpec is one scheduled deletion request.
@@ -105,7 +141,8 @@ type Spec struct {
 	Rounds int `json:"rounds,omitempty"`
 	// Partition selects the client partitioner (default IID).
 	Partition *PartitionSpec `json:"partition,omitempty"`
-	// Attack optionally poisons one client's partition.
+	// Attack optionally poisons one client's partition; listing several
+	// attack types adds an attack axis to the run matrix.
 	Attack *AttackSpec `json:"attack,omitempty"`
 	// Schedule lists deletion requests by round.
 	Schedule []DeletionSpec `json:"schedule,omitempty"`
@@ -177,6 +214,21 @@ func (s Spec) ShardList() []int {
 	}
 	return []int{1}
 }
+
+// AttackList resolves the attack-type axis: [""] without an attack (the
+// matrix has a single, unattacked plane), else the spec's attack types.
+func (s Spec) AttackList() []string {
+	if s.Attack == nil {
+		return []string{""}
+	}
+	return s.Attack.TypeList()
+}
+
+// MaxCells bounds the size of a spec's run matrix. The cap exists so
+// Validate can reject absurd axis products (e.g. a huge Repetitions) with an
+// error instead of letting Cells/SeedList panic or exhaust memory on
+// allocation.
+const MaxCells = 1_000_000
 
 // Validate reports spec errors. Errors only the resolved preset can detect
 // (client counts vs data size, unknown dataset names) surface at run time.
@@ -253,20 +305,48 @@ func (s Spec) Validate() error {
 		}
 	}
 	if a := s.Attack; a != nil {
-		if a.Type != "backdoor" {
-			return fmt.Errorf("scenario: unknown attack type %q", a.Type)
+		if a.Type != "" && len(a.Types) > 0 {
+			return fmt.Errorf("scenario: attack type and types are mutually exclusive")
 		}
 		if a.Client < 0 {
 			return fmt.Errorf("scenario: attack client %d negative", a.Client)
 		}
-		if a.Fraction <= 0 || a.Fraction > 1 {
-			return fmt.Errorf("scenario: attack fraction %g out of (0,1]", a.Fraction)
+		seenAttack := map[string]bool{}
+		for _, typ := range a.TypeList() {
+			if typ == "" {
+				return fmt.Errorf("scenario: attack needs a type (registered: %v)", attack.Types())
+			}
+			if seenAttack[typ] {
+				return fmt.Errorf("scenario: duplicate attack type %q", typ)
+			}
+			seenAttack[typ] = true
+			atk, err := attack.New(typ)
+			if err != nil {
+				return fmt.Errorf("scenario: %w", err)
+			}
+			if err := atk.Validate(a.Config()); err != nil {
+				return fmt.Errorf("scenario: %w", err)
+			}
 		}
-		if a.TargetLabel < 0 {
-			return fmt.Errorf("scenario: attack target label %d negative", a.TargetLabel)
+	}
+	// Bound the matrix before any axis is materialized: SeedList allocates
+	// Repetitions entries and Cells allocates the full axis product, so an
+	// absurd spec must fail here, not panic in make.
+	seedN := len(s.Seeds)
+	if seedN == 0 {
+		if seedN = s.Repetitions; seedN <= 0 {
+			seedN = 1
 		}
-		if a.PatchSize < 0 {
-			return fmt.Errorf("scenario: attack patch size %d negative", a.PatchSize)
+	}
+	cellN := int64(1)
+	for _, axis := range []int{len(s.Strategies), seedN, len(s.ShardList()), len(s.AttackList())} {
+		// Bounding every factor keeps the running product ≤ MaxCells² and
+		// therefore free of int64 overflow.
+		if int64(axis) > MaxCells {
+			return fmt.Errorf("scenario: the spec's run matrix exceeds %d cells", MaxCells)
+		}
+		if cellN *= int64(axis); cellN > MaxCells {
+			return fmt.Errorf("scenario: the spec's run matrix exceeds %d cells", MaxCells)
 		}
 	}
 	for i, d := range s.Schedule {

@@ -6,21 +6,24 @@ import (
 	"math/rand"
 	"sync"
 
+	"goldfish/internal/attack"
 	"goldfish/internal/data"
 	"goldfish/internal/scenario"
 )
 
 // Scenario types re-exported from the declarative experiment engine
 // (internal/scenario): a ScenarioSpec describes a config-driven unlearning
-// experiment matrix — dataset, partitioner, optional backdoor injection, a
-// deletion schedule, and the strategy × seed × shard axes — and a
-// ScenarioReport is its deterministic structured outcome.
+// experiment matrix — dataset, partitioner, optional attack injection (one
+// or several probe styles from the attack registry), a deletion schedule,
+// and the strategy × seed × shard × attack axes — and a ScenarioReport is
+// its deterministic structured outcome.
 type (
 	// ScenarioSpec is a declarative unlearning experiment matrix.
 	ScenarioSpec = scenario.Spec
 	// ScenarioReport is the structured, deterministic outcome of RunScenario.
 	ScenarioReport = scenario.Report
-	// ScenarioCell identifies one matrix point (strategy × seed × shards).
+	// ScenarioCell identifies one matrix point (strategy × seed × shards ×
+	// attack).
 	ScenarioCell = scenario.Cell
 	// ScenarioDiff is the cell-by-cell comparison of two scenario reports.
 	ScenarioDiff = scenario.DiffReport
@@ -57,7 +60,7 @@ func MergeScenarioReports(reports ...*ScenarioReport) (*ScenarioReport, error) {
 
 // DiffScenarioReports compares two reports cell-by-cell: accuracy, attack
 // success rate and membership-gap deltas over the matrix intersection, plus
-// per-(strategy, τ, metric) Welch t-tests across the seed axis. A committed
+// per-(strategy, τ, attack, metric) Welch t-tests across the seed axis. A committed
 // baseline report can thereby gate CI: ScenarioDiff.HasRegressions reports
 // any statistically significant worsening or newly failing cell, and a
 // report diffed against itself never regresses.
@@ -92,19 +95,22 @@ func ValidateScenario(spec ScenarioSpec) error {
 	return nil
 }
 
-// RunScenario executes the spec's full strategy × seed × shard matrix
-// concurrently on a bounded worker pool. Every cell runs end to end through
-// goldfish.New and the registered unlearner strategies: generate the
-// preset's data at the cell seed, partition it, optionally inject the
-// backdoor attack, train with the scheduled sample-/class-/client-level
-// deletion requests applied at their rounds, and evaluate the final model
-// (accuracy, attack success rate, membership gap, and model divergence plus
-// confidence t-test against the "retrain" reference cell of the same seed
-// and shard count when the strategy axis includes it).
+// RunScenario executes the spec's full strategy × seed × shard × attack
+// matrix concurrently on a bounded worker pool. Every cell runs end to end
+// through goldfish.New and the registered unlearner strategies: generate the
+// preset's data at the cell seed, partition it, optionally inject the cell's
+// attack probe (backdoor, label-flip, targeted-class, or any registered
+// type), train with the scheduled sample-/class-/client-level deletion
+// requests applied at their rounds, and evaluate the final model (accuracy,
+// the attack type's own success-rate probe, membership gap, and model
+// divergence plus confidence t-test against the "retrain" reference cell of
+// the same seed, shard count and attack type when the strategy axis
+// includes it).
 //
-// Cells sharing a seed see identical data, partitions and poisoning, and
-// every cell derives all randomness from spec constants and its seed, so
-// the report is deterministic: two runs of the same spec marshal to
+// Cells sharing a seed see identical data and partitions (poisoning
+// additionally depends on the cell's attack type), and every cell derives
+// all randomness from spec constants, its seed and its attack type, so the
+// report is deterministic: two runs of the same spec marshal to
 // byte-identical JSON. A failing cell is recorded in its row's Error field
 // rather than aborting the matrix; Report.Complete reports whether the full
 // matrix succeeded.
@@ -158,20 +164,23 @@ func RunScenarioShard(ctx context.Context, spec ScenarioSpec, shard string) (*Sc
 	return rep, execErr
 }
 
-// scenarioSetup materializes the seed-determined, strategy-independent part
-// of a cell: preset, train/test data, partitions, and the poisoned rows.
+// scenarioSetup materializes the seed- and attack-determined,
+// strategy-independent part of a cell: preset, train/test data, partitions,
+// the poisoned rows and the attack's success-rate probe.
 type scenarioSetup struct {
-	preset    Preset
-	test      *Dataset
-	parts     []*Dataset
-	poisoned  []int
-	triggered *Dataset
-	rounds    int
+	preset   Preset
+	test     *Dataset
+	parts    []*Dataset
+	poisoned []int
+	prober   AttackProber
+	rounds   int
 }
 
-// newScenarioSetup resolves and generates everything cells of one seed
-// share. All randomness derives from spec constants and the seed.
-func newScenarioSetup(spec ScenarioSpec, seed int64) (*scenarioSetup, error) {
+// newScenarioSetup resolves and generates everything cells of one (seed,
+// attack type) share. All randomness derives from spec constants, the seed
+// and the attack type; cells of one seed see identical data and partitions
+// before poisoning.
+func newScenarioSetup(spec ScenarioSpec, seed int64, attackType string) (*scenarioSetup, error) {
 	p, err := NewPresetWithArch(spec.Dataset, Arch(spec.Arch), Scale(spec.Scale), seed)
 	if err != nil {
 		return nil, err
@@ -206,25 +215,22 @@ func newScenarioSetup(spec ScenarioSpec, seed int64) (*scenarioSetup, error) {
 		return nil, err
 	}
 	s := &scenarioSetup{preset: p, test: test, parts: parts, rounds: p.Rounds}
-	if a := spec.Attack; a != nil {
+	if a := spec.Attack; a != nil && attackType != "" {
 		if a.Client >= len(parts) {
 			return nil, fmt.Errorf("goldfish: attack client %d out of range [0,%d)", a.Client, len(parts))
 		}
-		bd := BackdoorConfig{TargetLabel: a.TargetLabel, PatchSize: a.PatchSize, PatchValue: a.PatchValue}
-		if bd.PatchSize == 0 {
-			bd.PatchSize = DefaultBackdoor().PatchSize
-		}
-		if bd.PatchValue == 0 {
-			bd.PatchValue = DefaultBackdoor().PatchValue
+		atk, err := attack.New(attackType)
+		if err != nil {
+			return nil, fmt.Errorf("goldfish: %w", err)
 		}
 		arng := rand.New(rand.NewSource(seed*9949 + 23))
-		s.poisoned, err = bd.Poison(parts[a.Client], a.Fraction, arng)
+		s.poisoned, err = atk.Poison(parts[a.Client], a.Config(), arng)
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("goldfish: %s: %w", attackType, err)
 		}
-		s.triggered, err = bd.TriggerCopy(test)
+		s.prober, err = atk.NewProber(test, a.Config())
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("goldfish: %s: %w", attackType, err)
 		}
 	}
 	return s, nil
@@ -233,7 +239,7 @@ func newScenarioSetup(spec ScenarioSpec, seed int64) (*scenarioSetup, error) {
 // runScenarioCell executes one matrix cell end to end.
 func runScenarioCell(ctx context.Context, spec ScenarioSpec, cell ScenarioCell) (scenario.Outcome, error) {
 	var out scenario.Outcome
-	s, err := newScenarioSetup(spec, cell.Seed)
+	s, err := newScenarioSetup(spec, cell.Seed, cell.Attack)
 	if err != nil {
 		return out, err
 	}
@@ -274,12 +280,12 @@ func runScenarioCell(ctx context.Context, spec ScenarioSpec, cell ScenarioCell) 
 			return err
 		}
 		res.PreDeletionAccuracy = &acc
-		if s.triggered != nil {
+		if s.prober != nil {
 			net, err := e.GlobalNet()
 			if err != nil {
 				return err
 			}
-			asr := AttackSuccessRate(net, s.triggered, spec.Attack.TargetLabel)
+			asr := s.prober.SuccessRate(net)
 			res.PreDeletionASR = &asr
 		}
 		return nil
@@ -393,8 +399,8 @@ func runScenarioCell(ctx context.Context, spec ScenarioSpec, cell ScenarioCell) 
 		return out, err
 	}
 	res.Accuracy = Accuracy(net, s.test)
-	if s.triggered != nil {
-		asr := AttackSuccessRate(net, s.triggered, spec.Attack.TargetLabel)
+	if s.prober != nil {
+		asr := s.prober.SuccessRate(net)
 		res.ASR = &asr
 	}
 	if len(forget) > 0 {
