@@ -23,9 +23,9 @@ type (
 )
 
 // RegisterAttack adds an attack factory to the attack-probe registry under
-// name, replacing any previous registration — the attack-axis counterpart of
-// RegisterUnlearner. Scenario specs then select it via attack.type or
-// attack.types.
+// name — the attack-axis counterpart of RegisterUnlearner. Registering a
+// name twice panics — pick a unique name per probe. Scenario specs then
+// select it via attack.type or attack.types.
 func RegisterAttack(name string, factory func() Attack) {
 	attack.Register(name, factory)
 }

@@ -38,6 +38,7 @@ import (
 	"goldfish"
 	"goldfish/internal/bench"
 	"goldfish/internal/data"
+	"goldfish/internal/version"
 )
 
 func main() {
@@ -55,8 +56,14 @@ func run() int {
 		out   = flag.String("out", "", "also append reports to this file")
 		jsonP = flag.String("json", "", "write the machine-readable performance report (BENCH_*.json) here")
 		cfgP  = flag.String("config", "", "scenario spec file for -exp scenario")
+		ver   = flag.Bool("version", false, "print the version and exit")
 	)
 	flag.Parse()
+
+	if *ver {
+		version.Fprint(os.Stdout, "goldfish-bench")
+		return 0
+	}
 
 	if *list {
 		for _, e := range bench.Experiments() {

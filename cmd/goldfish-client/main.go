@@ -23,6 +23,7 @@ import (
 	"goldfish"
 	"goldfish/internal/core"
 	"goldfish/internal/fed"
+	"goldfish/internal/version"
 )
 
 func main() {
@@ -59,8 +60,14 @@ func run() int {
 		seed        = flag.Int64("seed", 1, "random seed (must match server)")
 		poison      = flag.Float64("poison", 0, "fraction of local data to backdoor-poison (0 disables)")
 		deleteAfter = flag.Int("delete-after", 0, "submit a deletion request for poisoned rows after this round (0 disables)")
+		ver         = flag.Bool("version", false, "print the version and exit")
 	)
 	flag.Parse()
+
+	if *ver {
+		version.Fprint(os.Stdout, "goldfish-client")
+		return 0
+	}
 
 	if *id < 0 || *id >= *of {
 		fmt.Fprintf(os.Stderr, "goldfish-client: -id %d out of range [0,%d)\n", *id, *of)

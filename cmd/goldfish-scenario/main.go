@@ -50,6 +50,7 @@ import (
 	"syscall"
 
 	"goldfish"
+	"goldfish/internal/version"
 )
 
 func main() {
@@ -67,8 +68,14 @@ func run() int {
 		baseline = flag.String("baseline", "", "diff the report against this baseline report; exit non-zero on significant regressions")
 		alpha    = flag.Float64("alpha", 0, "baseline diff significance level (default 0.05)")
 		minDelta = flag.Float64("min-delta", 0, "baseline diff practical-significance floor on metric deltas")
+		showVer  = flag.Bool("version", false, "print the version and exit")
 	)
 	flag.Parse()
+
+	if *showVer {
+		version.Fprint(os.Stdout, "goldfish-scenario")
+		return 0
+	}
 
 	var rep *goldfish.ScenarioReport
 	switch {

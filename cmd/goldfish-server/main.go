@@ -26,6 +26,7 @@ import (
 	"goldfish"
 	"goldfish/internal/fed"
 	"goldfish/internal/metrics"
+	"goldfish/internal/version"
 )
 
 func main() {
@@ -43,8 +44,14 @@ func run() int {
 		agg     = flag.String("agg", "fedavg", "aggregator: fedavg|adaptive")
 		timeout = flag.Duration("round-timeout", time.Minute,
 			"per-round straggler bound; slower clients are dropped for the round (0 = wait forever)")
+		ver = flag.Bool("version", false, "print the version and exit")
 	)
 	flag.Parse()
+
+	if *ver {
+		version.Fprint(os.Stdout, "goldfish-server")
+		return 0
+	}
 
 	p, err := goldfish.NewPreset(*dataset, goldfish.Scale(*scale), *seed)
 	if err != nil {

@@ -1,0 +1,110 @@
+// Command goldfishlint runs the repo's static-analysis suite (internal/lint)
+// over package patterns, multichecker-style: every analyzer on every
+// matched package, diagnostics printed one per line, non-zero exit when any
+// fire. CI runs `go run ./cmd/goldfishlint ./...` so a PR that breaks a
+// determinism, registry, error-wrapping or concurrency contract fails
+// before any golden fixture or determinism gate does.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+
+	"goldfish/internal/lint"
+	"goldfish/internal/version"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("goldfishlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		showVersion = fs.Bool("version", false, "print the goldfishlint version and exit")
+		listRules   = fs.Bool("lint-rules", false, "print the enabled analyzers and their docs, then exit")
+	)
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: goldfishlint [flags] [packages]\n\n"+
+			"Runs the goldfish static-analysis suite on the given package patterns\n"+
+			"(default ./...). Exits 1 when any diagnostic fires.\n\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *showVersion {
+		version.Fprint(stdout, "goldfishlint")
+		return 0
+	}
+	if *listRules {
+		printRules(stdout)
+		return 0
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	moduleDir, err := moduleRoot()
+	if err != nil {
+		fmt.Fprintf(stderr, "goldfishlint: %v\n", err)
+		return 2
+	}
+	loader, err := lint.NewLoader(moduleDir, patterns...)
+	if err != nil {
+		fmt.Fprintf(stderr, "goldfishlint: %v\n", err)
+		return 2
+	}
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		fmt.Fprintf(stderr, "goldfishlint: %v\n", err)
+		return 2
+	}
+	diags, err := lint.Run(pkgs, lint.Suite())
+	if err != nil {
+		fmt.Fprintf(stderr, "goldfishlint: %v\n", err)
+		return 2
+	}
+	for _, d := range diags {
+		fmt.Fprintln(stdout, d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(stderr, "goldfishlint: %d violation(s) in %d package(s)\n", len(diags), len(pkgs))
+		return 1
+	}
+	return 0
+}
+
+// printRules writes the analyzer roster: name, one-line summary, full doc —
+// the -lint-rules introspection a CLI test pins against lint.Suite().
+func printRules(w io.Writer) {
+	suite := lint.Suite()
+	fmt.Fprintf(w, "goldfishlint analyzers (%d):\n\n", len(suite))
+	for _, a := range suite {
+		fmt.Fprintf(w, "%s: %s\n", a.Name, strings.SplitN(a.Doc, "\n", 2)[0])
+		for _, line := range strings.Split(a.Doc, "\n")[1:] {
+			fmt.Fprintf(w, "    %s\n", line)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// moduleRoot locates the enclosing module's directory, so goldfishlint works
+// from any subdirectory of the repo.
+func moduleRoot() (string, error) {
+	out, err := exec.Command("go", "env", "GOMOD").Output()
+	if err != nil {
+		return "", fmt.Errorf("locating go.mod: %w", err)
+	}
+	gomod := strings.TrimSpace(string(out))
+	if gomod == "" || gomod == os.DevNull {
+		return "", fmt.Errorf("goldfishlint must run inside a Go module")
+	}
+	return filepath.Dir(gomod), nil
+}

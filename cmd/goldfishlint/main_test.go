@@ -1,0 +1,81 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"goldfish/internal/lint"
+	"goldfish/internal/version"
+)
+
+// TestLintRulesMatchesSuite asserts the -lint-rules introspection lists
+// exactly the registered analyzer suite, each with its one-line summary, so
+// the CLI's self-description cannot drift from lint.Suite().
+func TestLintRulesMatchesSuite(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-lint-rules"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-lint-rules exited %d, stderr: %s", code, stderr.String())
+	}
+	out := stdout.String()
+	suite := lint.Suite()
+	if want := fmt.Sprintf("goldfishlint analyzers (%d):", len(suite)); !strings.Contains(out, want) {
+		t.Errorf("-lint-rules output missing header %q:\n%s", want, out)
+	}
+	for _, a := range suite {
+		summary := strings.SplitN(a.Doc, "\n", 2)[0]
+		if want := a.Name + ": " + summary; !strings.Contains(out, want) {
+			t.Errorf("-lint-rules output missing %q:\n%s", want, out)
+		}
+	}
+	// No analyzer outside the suite may be listed: every roster line has the
+	// unindented "name: summary" shape.
+	known := map[string]bool{}
+	for _, a := range suite {
+		known[a.Name] = true
+	}
+	for _, line := range strings.Split(out, "\n") {
+		if line == "" || strings.HasPrefix(line, " ") || strings.HasPrefix(line, "goldfishlint analyzers") {
+			continue
+		}
+		name, _, ok := strings.Cut(line, ": ")
+		if !ok || !known[name] {
+			t.Errorf("-lint-rules lists %q, which is not in lint.Suite()", line)
+		}
+	}
+}
+
+// TestVersionFlag pins the -version banner to the shared version stamp.
+func TestVersionFlag(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-version"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-version exited %d, stderr: %s", code, stderr.String())
+	}
+	if !strings.HasPrefix(stdout.String(), "goldfishlint "+version.Version) {
+		t.Errorf("-version printed %q, want prefix %q", stdout.String(), "goldfishlint "+version.Version)
+	}
+}
+
+// TestRunCleanRepo runs the real multichecker over a single known-clean
+// package and expects a silent zero exit.
+func TestRunCleanRepo(t *testing.T) {
+	if testing.Short() {
+		t.Skip("invokes go list -export")
+	}
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"./internal/stats"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("lint on ./internal/stats exited %d:\n%s%s", code, stdout.String(), stderr.String())
+	}
+	if stdout.Len() != 0 {
+		t.Errorf("clean run printed diagnostics:\n%s", stdout.String())
+	}
+}
+
+// TestBadFlag pins the usage exit code.
+func TestBadFlag(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-no-such-flag"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("bad flag exited %d, want 2", code)
+	}
+}

@@ -155,8 +155,8 @@ func DefaultConfig(m ModelConfig) Config { return core.DefaultConfig(m) }
 func DefaultLoss() GoldfishLoss { return loss.NewGoldfish() }
 
 // RegisterUnlearner adds a strategy factory to the Unlearner registry under
-// name, replacing any previous registration; WithUnlearner(name) then
-// selects it.
+// name; WithUnlearner(name) then selects it. Registering a name twice
+// panics — pick a unique name per strategy.
 func RegisterUnlearner(name string, factory func() Unlearner) {
 	unlearn.Register(name, factory)
 }

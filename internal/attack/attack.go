@@ -96,15 +96,19 @@ var (
 	registry   = map[string]Factory{}
 )
 
-// Register adds an attack factory under name, replacing any previous
-// registration. The built-in names are "backdoor" (the paper's trigger
-// patch), "label-flip" and "targeted-class".
+// Register adds an attack factory under name. Registering a name twice is a
+// wiring bug, not a runtime condition, so it panics rather than silently
+// replacing the earlier factory. The built-in names are "backdoor" (the
+// paper's trigger patch), "label-flip" and "targeted-class".
 func Register(name string, f Factory) {
 	if name == "" || f == nil {
 		panic("attack: Register with empty name or nil factory")
 	}
 	registryMu.Lock()
 	defer registryMu.Unlock()
+	if _, dup := registry[name]; dup {
+		panic("attack: Register called twice for attack type " + name)
+	}
 	registry[name] = f
 }
 

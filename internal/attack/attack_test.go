@@ -311,3 +311,47 @@ func TestProberUsesCleanProbes(t *testing.T) {
 		t.Error("building a prober mutated the test set")
 	}
 }
+
+// mustPanic runs fn and fails the test unless it panics with a message
+// containing wantMsg.
+func mustPanic(t *testing.T, what, wantMsg string, fn func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Errorf("%s: Register did not panic", what)
+			return
+		}
+		if msg, ok := r.(string); !ok || !strings.Contains(msg, wantMsg) {
+			t.Errorf("%s: panic = %v, want message containing %q", what, r, wantMsg)
+		}
+	}()
+	fn()
+}
+
+// TestRegisterMisusePanics pins the registry's wiring-bug contract: duplicate
+// names, empty names and nil factories all panic instead of silently
+// replacing or registering broken entries.
+func TestRegisterMisusePanics(t *testing.T) {
+	factory := func() Attack { return backdoorAttack{} }
+	mustPanic(t, "duplicate name", "Register called twice", func() { Register("backdoor", factory) })
+	mustPanic(t, "empty name", "empty name", func() { Register("", factory) })
+	mustPanic(t, "nil factory", "nil factory", func() { Register("nil-factory-probe", nil) })
+	if _, err := New("nil-factory-probe"); err == nil {
+		t.Error("rejected registration still reachable via New")
+	}
+}
+
+// TestUnknownTypeErrorListsTypes asserts the lookup-failure error names every
+// registered attack type, so a typo in a scenario spec is self-diagnosing.
+func TestUnknownTypeErrorListsTypes(t *testing.T) {
+	_, err := New("no-such-attack")
+	if err == nil {
+		t.Fatal("New(unknown) succeeded")
+	}
+	for _, name := range Types() {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("unknown-type error %q does not list registered type %q", err, name)
+		}
+	}
+}

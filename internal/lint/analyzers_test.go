@@ -1,0 +1,53 @@
+package lint_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"goldfish/internal/lint"
+	"goldfish/internal/lint/linttest"
+)
+
+func testdata(dir string) string {
+	return filepath.Join("testdata", "src", dir)
+}
+
+// TestDeterminism pins the determinism analyzer on a package inside the
+// report-producing scope: wall clocks, shared rand, and map-order leaks are
+// flagged; seeded generators, sorted collects and directive-suppressed lines
+// are not.
+func TestDeterminism(t *testing.T) {
+	linttest.Run(t, testdata("determinism"), "goldfish/internal/scenario/linttestdata", lint.DeterminismAnalyzer)
+}
+
+// TestDeterminismUnscoped loads the same kind of nondeterminism under an
+// import path outside the report-producing scope: the analyzer must stay
+// silent (the testdata has no want comments, so any diagnostic fails).
+func TestDeterminismUnscoped(t *testing.T) {
+	linttest.Run(t, testdata("determinism_unscoped"), "goldfish/internal/bench/linttestdata", lint.DeterminismAnalyzer)
+}
+
+// TestRegistry pins registration discipline: init-only literal kebab names,
+// forwarding wrappers as the one exception, and lookup errors listing the
+// registry's Types().
+func TestRegistry(t *testing.T) {
+	linttest.Run(t, testdata("registry"), "goldfish/internal/lint/linttestdata/registry", lint.RegistryAnalyzer)
+}
+
+// TestErrwrap pins the prefix-or-%w rule inside the scenario scope.
+func TestErrwrap(t *testing.T) {
+	linttest.Run(t, testdata("errwrap"), "goldfish/internal/scenario/linttestdata", lint.ErrwrapAnalyzer)
+}
+
+// TestErrwrapUnscoped pins that only the global errors.New(fmt.Sprintf(…))
+// rule applies outside the scoped packages.
+func TestErrwrapUnscoped(t *testing.T) {
+	linttest.Run(t, testdata("errwrap_unscoped"), "goldfish/internal/bench/linttestdata", lint.ErrwrapAnalyzer)
+}
+
+// TestConcurrency pins the Scorer/Prober contract checks: unguarded aliased
+// receiver writes are flagged; mutex-guarded, atomic, read-only and
+// copy-local writes are not.
+func TestConcurrency(t *testing.T) {
+	linttest.Run(t, testdata("concurrency"), "goldfish/internal/lint/linttestdata/concurrency", lint.ConcurrencyAnalyzer)
+}

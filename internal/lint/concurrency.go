@@ -1,0 +1,272 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// ConcurrencyAnalyzer enforces the fed.Scorer / attack.Prober concurrency
+// contracts.
+var ConcurrencyAnalyzer = &Analyzer{
+	Name: "concurrency",
+	Doc: `forbid unguarded receiver writes in concurrently-invoked contract methods
+
+fed.Engine scores client updates concurrently and the scenario engine probes
+matrix cells in parallel, so implementations of fed.Scorer.Score
+(Score([]float64) (float64, error)) and attack.Prober.SuccessRate
+(SuccessRate(*nn.Network) float64) are called from many goroutines at once.
+This analyzer flags any assignment to a receiver field inside such a method
+unless a receiver-held sync.Mutex/RWMutex is locked on every path before the
+write (tracked linearly: a .Lock() earlier in the body with no intervening
+.Unlock()). Use a mutex, sync/atomic, or keep the method read-only.`,
+	Run: runConcurrency,
+}
+
+// contractMethod reports whether decl is one of the concurrently-invoked
+// contract methods, matched structurally so the check also applies to
+// implementations in packages that never import fed or attack directly.
+func contractMethod(info *types.Info, decl *ast.FuncDecl) (string, bool) {
+	if decl.Recv == nil || len(decl.Recv.List) != 1 {
+		return "", false
+	}
+	obj, ok := info.Defs[decl.Name].(*types.Func)
+	if !ok {
+		return "", false
+	}
+	sig := obj.Type().(*types.Signature)
+	switch decl.Name.Name {
+	case "Score":
+		// fed.Scorer: Score(params []float64) (float64, error)
+		if sig.Params().Len() != 1 || sig.Results().Len() != 2 {
+			return "", false
+		}
+		slice, ok := sig.Params().At(0).Type().Underlying().(*types.Slice)
+		if !ok || !isBasic(slice.Elem(), types.Float64) {
+			return "", false
+		}
+		if !isBasic(sig.Results().At(0).Type(), types.Float64) {
+			return "", false
+		}
+		named, ok := sig.Results().At(1).Type().(*types.Named)
+		if !ok || named.Obj().Name() != "error" || named.Obj().Pkg() != nil {
+			return "", false
+		}
+		return "fed.Scorer", true
+	case "SuccessRate":
+		// attack.Prober: SuccessRate(net *nn.Network) float64
+		if sig.Params().Len() != 1 || sig.Results().Len() != 1 {
+			return "", false
+		}
+		if _, ok := sig.Params().At(0).Type().Underlying().(*types.Pointer); !ok {
+			return "", false
+		}
+		if !isBasic(sig.Results().At(0).Type(), types.Float64) {
+			return "", false
+		}
+		return "attack.Prober", true
+	}
+	return "", false
+}
+
+func isBasic(t types.Type, kind types.BasicKind) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Kind() == kind
+}
+
+func runConcurrency(pass *Pass) error {
+	info := pass.Pkg.Info
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			contract, ok := contractMethod(info, fd)
+			if !ok {
+				continue
+			}
+			recv := receiverObject(info, fd)
+			if recv == nil {
+				continue // anonymous receiver cannot be written
+			}
+			checkReceiverWrites(pass, fd, recv, contract)
+		}
+	}
+	return nil
+}
+
+// receiverObject returns the receiver variable's object.
+func receiverObject(info *types.Info, fd *ast.FuncDecl) types.Object {
+	names := fd.Recv.List[0].Names
+	if len(names) == 0 || names[0].Name == "_" {
+		return nil
+	}
+	return info.Defs[names[0]]
+}
+
+// mutexEvent is a Lock or Unlock call on a receiver-rooted mutex.
+type mutexEvent struct {
+	pos  token.Pos
+	lock bool
+}
+
+// checkReceiverWrites flags receiver-field writes not preceded by a held
+// receiver mutex lock. Lock state is tracked by source position: a write at
+// pos P is guarded when some recv.<mu>.Lock() occurs before P with no
+// non-deferred recv.<mu>.Unlock() between them — the shape every
+// mutex-guarded method in the repo takes (Lock at the top, deferred Unlock).
+func checkReceiverWrites(pass *Pass, fd *ast.FuncDecl, recv types.Object, contract string) {
+	info := pass.Pkg.Info
+	var events []mutexEvent
+	// Collect Lock/Unlock events on receiver-rooted sync mutexes; Unlocks
+	// inside defer statements run at return and never end a guard mid-body.
+	deferred := map[ast.Node]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if d, ok := n.(*ast.DeferStmt); ok {
+			deferred[d.Call] = true
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if sel.Sel.Name != "Lock" && sel.Sel.Name != "Unlock" {
+			return true
+		}
+		// The Lock/Unlock must resolve to sync's mutex methods (directly or
+		// via embedding) on something rooted at the receiver.
+		fn, ok := info.Uses[sel.Sel].(*types.Func)
+		if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+			return true
+		}
+		if !rootedAtReceiver(info, sel.X, recv) {
+			return true
+		}
+		if sel.Sel.Name == "Unlock" && deferred[call] {
+			return true
+		}
+		events = append(events, mutexEvent{pos: call.Pos(), lock: sel.Sel.Name == "Lock"})
+		return true
+	})
+	guarded := func(pos token.Pos) bool {
+		held := false
+		for _, e := range events {
+			if e.pos >= pos {
+				break
+			}
+			held = e.lock
+		}
+		return held
+	}
+	report := func(pos token.Pos, field string) {
+		pass.Reportf(pos, "%s implementations are called concurrently; writing receiver field %q without holding a mutex is a data race", contract, field)
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if field, ok := sharedReceiverWrite(info, lhs, recv); ok && !guarded(n.Pos()) {
+					report(n.Pos(), field)
+				}
+			}
+		case *ast.IncDecStmt:
+			if field, ok := sharedReceiverWrite(info, n.X, recv); ok && !guarded(n.Pos()) {
+				report(n.Pos(), field)
+			}
+		}
+		return true
+	})
+}
+
+// sharedReceiverWrite reports whether assigning to expr mutates state shared
+// across concurrent calls: a write reached from the receiver through at
+// least one aliasing step (a pointer receiver, a pointer-typed field, a map
+// or slice element). A plain field write on a value receiver mutates the
+// call's own copy and is not a race.
+func sharedReceiverWrite(info *types.Info, expr ast.Expr, recv types.Object) (string, bool) {
+	rooted, aliased, field := classifyPath(info, expr, recv)
+	if !rooted || !aliased {
+		return "", false
+	}
+	if field == "" {
+		field = "*" + recv.Name() // write through the receiver pointer itself
+	}
+	return field, true
+}
+
+// classifyPath walks an lvalue path down to its root, reporting whether it
+// starts at the receiver, whether any step aliases shared memory, and the
+// outermost field name on the path.
+func classifyPath(info *types.Info, expr ast.Expr, recv types.Object) (rooted, aliased bool, field string) {
+	switch e := expr.(type) {
+	case *ast.Ident:
+		// Rebinding the receiver variable itself (s = …) is call-local; the
+		// aliasing steps are added by the selector/deref cases above it.
+		return info.Uses[e] == recv, false, ""
+	case *ast.SelectorExpr:
+		rooted, aliased, field = classifyPath(info, e.X, recv)
+		if !rooted {
+			return false, false, ""
+		}
+		if isPointerExpr(info, e.X) {
+			aliased = true
+		}
+		if field == "" {
+			field = e.Sel.Name
+		}
+		return rooted, aliased, field
+	case *ast.IndexExpr:
+		rooted, aliased, field = classifyPath(info, e.X, recv)
+		if rooted {
+			if tv, ok := info.Types[e.X]; ok && tv.Type != nil {
+				switch tv.Type.Underlying().(type) {
+				case *types.Map, *types.Slice, *types.Pointer:
+					aliased = true
+				}
+			}
+		}
+		return rooted, aliased, field
+	case *ast.StarExpr:
+		rooted, aliased, field = classifyPath(info, e.X, recv)
+		return rooted, rooted, field
+	case *ast.ParenExpr:
+		return classifyPath(info, e.X, recv)
+	default:
+		return false, false, ""
+	}
+}
+
+// isPointerExpr reports whether expr's type is a pointer.
+func isPointerExpr(info *types.Info, expr ast.Expr) bool {
+	tv, ok := info.Types[expr]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, isPtr := tv.Type.Underlying().(*types.Pointer)
+	return isPtr
+}
+
+// rootedAtReceiver reports whether expr is the receiver identifier, possibly
+// through selectors/derefs (recv, recv.mu, (*recv).mu …).
+func rootedAtReceiver(info *types.Info, expr ast.Expr, recv types.Object) bool {
+	for {
+		switch e := expr.(type) {
+		case *ast.Ident:
+			return info.Uses[e] == recv
+		case *ast.SelectorExpr:
+			expr = e.X
+		case *ast.ParenExpr:
+			expr = e.X
+		case *ast.StarExpr:
+			expr = e.X
+		case *ast.IndexExpr:
+			expr = e.X
+		default:
+			return false
+		}
+	}
+}

@@ -1,0 +1,264 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// DeterminismPathPrefixes scopes the determinism analyzer to the
+// report-producing packages: everything these packages compute ends up in
+// byte-compared reports (scenario JSON, golden fixtures, the CI smoke
+// baseline), so any wall-clock read, shared-rand draw or map-order leak in
+// them breaks the repo's byte-determinism gates.
+var DeterminismPathPrefixes = []string{
+	"goldfish/internal/scenario",
+	"goldfish/internal/attack",
+	"goldfish/internal/stats",
+	"goldfish/internal/data",
+}
+
+// reportProducing reports whether the import path falls under the
+// determinism scope.
+func reportProducing(path string, prefixes []string) bool {
+	for _, p := range prefixes {
+		if path == p || (len(path) > len(p) && path[:len(p)] == p && path[len(p)] == '/') {
+			return true
+		}
+	}
+	return false
+}
+
+// DeterminismAnalyzer flags nondeterminism sources in report-producing
+// packages.
+var DeterminismAnalyzer = &Analyzer{
+	Name: "determinism",
+	Doc: `flag nondeterminism sources in report-producing packages
+
+Scenario reports, golden fixtures and the CI smoke baseline are
+byte-compared, so packages that feed them (internal/scenario, internal/attack,
+internal/stats, internal/data) must be fully deterministic. This analyzer
+flags: calls to time.Now/time.Since; draws from math/rand's shared top-level
+source (rand.New/rand.NewSource constructing a seeded generator are fine);
+map iteration whose results feed appends or output without an intervening
+sort; and map values passed to fmt formatting verbs (map print order is
+randomized). A trailing or preceding ` + "`//goldfish:nondeterministic`" + ` comment
+opts a line out — the escape hatch for deliberate wall-time tracking.`,
+	Run: runDeterminism,
+}
+
+func runDeterminism(pass *Pass) error {
+	if !reportProducing(pass.Pkg.Path, DeterminismPathPrefixes) {
+		return nil
+	}
+	for _, file := range pass.Pkg.Files {
+		suppressed := suppressedLines(pass.Pkg.Fset, file)
+		report := func(pos token.Pos, format string, args ...any) {
+			if suppressed[pass.Pkg.Fset.Position(pos).Line] {
+				return
+			}
+			pass.Reportf(pos, format, args...)
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				checkClockAndRand(pass, n, report)
+			case *ast.CallExpr:
+				checkMapFormatting(pass, n, report)
+			case *ast.RangeStmt:
+				// Map ranges are checked from their enclosing function so the
+				// "sorted afterwards" pattern is visible; see checkFunc.
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					checkMapRanges(pass, n.Body, report)
+				}
+				return true
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkClockAndRand flags time.Now/time.Since and package-level math/rand
+// draws (rand.Intn, rand.Float64, rand.Shuffle, …), which read process-global
+// state. Seeded generators via rand.New(rand.NewSource(seed)) stay legal.
+func checkClockAndRand(pass *Pass, sel *ast.SelectorExpr, report func(token.Pos, string, ...any)) {
+	obj := pass.Pkg.Info.Uses[sel.Sel]
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return
+	}
+	if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+		return // methods (e.g. (*rand.Rand).Intn) are per-instance and fine
+	}
+	switch fn.Pkg().Path() {
+	case "time":
+		if fn.Name() == "Now" || fn.Name() == "Since" {
+			report(sel.Pos(), "call to time.%s in a report-producing package breaks byte-determinism (opt out with %s)",
+				fn.Name(), NondeterministicDirective)
+		}
+	case "math/rand", "math/rand/v2":
+		switch fn.Name() {
+		case "New", "NewSource", "NewZipf", "NewPCG", "NewChaCha8":
+			// deterministic constructors
+		default:
+			report(sel.Pos(), "use of the shared top-level math/rand source (rand.%s) is nondeterministic across runs; draw from a seeded *rand.Rand (opt out with %s)",
+				fn.Name(), NondeterministicDirective)
+		}
+	}
+}
+
+// fmtFormatters are the fmt functions whose rendering of a map argument
+// depends on randomized iteration order.
+var fmtFormatters = map[string]bool{
+	"Sprintf": true, "Sprint": true, "Sprintln": true,
+	"Fprintf": true, "Fprint": true, "Fprintln": true,
+	"Printf": true, "Print": true, "Println": true,
+	"Errorf": true, "Appendf": true, "Append": true, "Appendln": true,
+}
+
+// checkMapFormatting flags map-typed arguments handed to fmt formatting
+// calls: %v renders a map in randomized order, so the formatted string is
+// different run to run.
+func checkMapFormatting(pass *Pass, call *ast.CallExpr, report func(token.Pos, string, ...any)) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	fn, ok := pass.Pkg.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "fmt" || !fmtFormatters[fn.Name()] {
+		return
+	}
+	for _, arg := range call.Args {
+		tv, ok := pass.Pkg.Info.Types[arg]
+		if !ok || tv.Type == nil {
+			continue
+		}
+		if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+			report(arg.Pos(), "formatting a map with fmt.%s renders randomized iteration order; sort the keys into a slice first (opt out with %s)",
+				fn.Name(), NondeterministicDirective)
+		}
+	}
+}
+
+// checkMapRanges flags `for … range m` over a map whose body appends to a
+// variable declared outside the loop, unless the function later sorts that
+// variable (the registry Types() idiom), and flags direct output calls
+// (fmt.Fprint*/Print*/Sprint*, Encoder.Encode, Writer.Write) inside a map
+// range body outright.
+func checkMapRanges(pass *Pass, body *ast.BlockStmt, report func(token.Pos, string, ...any)) {
+	info := pass.Pkg.Info
+	ast.Inspect(body, func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		tv, ok := info.Types[rng.X]
+		if !ok || tv.Type == nil {
+			return true
+		}
+		if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		// Direct output inside the loop can never be reordered afterwards.
+		ast.Inspect(rng.Body, func(m ast.Node) bool {
+			call, ok := m.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+				if fn, ok := info.Uses[sel.Sel].(*types.Func); ok && fn.Pkg() != nil {
+					switch {
+					case fn.Pkg().Path() == "fmt" && fmtFormatters[fn.Name()]:
+						report(call.Pos(), "output written inside a map range iterates in randomized order; collect and sort keys first (opt out with %s)",
+							NondeterministicDirective)
+					case fn.Name() == "Encode" && fn.Pkg().Path() == "encoding/json":
+						report(call.Pos(), "serialization inside a map range iterates in randomized order; collect and sort keys first (opt out with %s)",
+							NondeterministicDirective)
+					}
+				}
+			}
+			return true
+		})
+		// Appends that escape the loop must be sorted before use.
+		appended := map[types.Object]token.Pos{}
+		ast.Inspect(rng.Body, func(m ast.Node) bool {
+			asg, ok := m.(*ast.AssignStmt)
+			if !ok || len(asg.Lhs) != 1 || len(asg.Rhs) != 1 {
+				return true
+			}
+			call, ok := asg.Rhs[0].(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			id, ok := call.Fun.(*ast.Ident)
+			if !ok || id.Name != "append" {
+				return true
+			}
+			if _, builtin := info.Uses[id].(*types.Builtin); !builtin {
+				return true
+			}
+			lhs, ok := asg.Lhs[0].(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := info.Uses[lhs]
+			if obj == nil {
+				obj = info.Defs[lhs]
+			}
+			// Only variables declared outside the range statement leak order.
+			if obj == nil || (obj.Pos() >= rng.Pos() && obj.Pos() <= rng.End()) {
+				return true
+			}
+			if _, seen := appended[obj]; !seen {
+				appended[obj] = asg.Pos()
+			}
+			return true
+		})
+		for obj, pos := range appended {
+			if !sortedAfter(info, body, obj, rng.End()) {
+				report(pos, "append to %q inside a map range leaks randomized iteration order; sort it afterwards or iterate sorted keys (opt out with %s)",
+					obj.Name(), NondeterministicDirective)
+			}
+		}
+		return true
+	})
+}
+
+// sortedAfter reports whether obj is passed to a sort/slices call after pos
+// within body.
+func sortedAfter(info *types.Info, body *ast.BlockStmt, obj types.Object, pos token.Pos) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < pos {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn, ok := info.Uses[sel.Sel].(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			return true
+		}
+		if p := fn.Pkg().Path(); p != "sort" && p != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			ast.Inspect(arg, func(a ast.Node) bool {
+				if id, ok := a.(*ast.Ident); ok && info.Uses[id] == obj {
+					found = true
+					return false
+				}
+				return true
+			})
+		}
+		return !found
+	})
+	return found
+}

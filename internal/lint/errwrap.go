@@ -1,0 +1,112 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// ErrwrapScopes maps package-path prefixes to the error-message prefix every
+// error built there must carry (unless it wraps with %w, which preserves the
+// inner error's provenance). The scenario and attack packages are the repo's
+// public-facing error surfaces: their errors reach CLI users and CI logs,
+// where an unprefixed "invalid spec" is impossible to attribute.
+var ErrwrapScopes = map[string]string{
+	"goldfish/internal/scenario": "scenario",
+	"goldfish/internal/attack":   "attack",
+}
+
+// ErrwrapAnalyzer enforces the repo's error-wrapping discipline.
+var ErrwrapAnalyzer = &Analyzer{
+	Name: "errwrap",
+	Doc: `enforce error prefixes and wrapping across package boundaries
+
+Errors built in internal/scenario and internal/attack cross the package
+boundary into CLIs, CI logs and reports, so each fmt.Errorf/errors.New there
+must either carry the package's established prefix ("scenario: …",
+"attack: …") or wrap an inner error with %w so provenance is preserved.
+Everywhere in the repo, errors.New(fmt.Sprintf(…)) is forbidden: it is
+fmt.Errorf with the wrapping ability thrown away.`,
+	Run: runErrwrap,
+}
+
+func runErrwrap(pass *Pass) error {
+	prefix := ""
+	for p, pre := range ErrwrapScopes {
+		if reportProducing(pass.Pkg.Path, []string{p}) {
+			prefix = pre
+			break
+		}
+	}
+	info := pass.Pkg.Info
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := info.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			switch {
+			case fn.Pkg().Path() == "errors" && fn.Name() == "New":
+				checkErrorsNew(pass, call, prefix)
+			case fn.Pkg().Path() == "fmt" && fn.Name() == "Errorf":
+				checkErrorf(pass, call, prefix)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkErrorsNew forbids errors.New(fmt.Sprintf(…)) everywhere and, inside
+// an errwrap scope, requires the package prefix on the literal message.
+func checkErrorsNew(pass *Pass, call *ast.CallExpr, prefix string) {
+	if len(call.Args) != 1 {
+		return
+	}
+	if inner, ok := call.Args[0].(*ast.CallExpr); ok {
+		if sel, ok := inner.Fun.(*ast.SelectorExpr); ok {
+			if fn, ok := pass.Pkg.Info.Uses[sel.Sel].(*types.Func); ok &&
+				fn.Pkg() != nil && fn.Pkg().Path() == "fmt" && fn.Name() == "Sprintf" {
+				pass.Reportf(call.Pos(), "errors.New(fmt.Sprintf(…)) discards wrapping; use fmt.Errorf (with %%w for inner errors)")
+				return
+			}
+		}
+	}
+	if prefix == "" {
+		return
+	}
+	if lit, ok := call.Args[0].(*ast.BasicLit); ok {
+		if msg, err := strconv.Unquote(lit.Value); err == nil && !strings.HasPrefix(msg, prefix+": ") {
+			pass.Reportf(lit.Pos(), "error message %q crosses the package boundary without the %q prefix", msg, prefix+": ")
+		}
+	}
+}
+
+// checkErrorf requires, inside an errwrap scope, that the format literal
+// starts with the package prefix or wraps with %w.
+func checkErrorf(pass *Pass, call *ast.CallExpr, prefix string) {
+	if prefix == "" || len(call.Args) == 0 {
+		return
+	}
+	lit, ok := call.Args[0].(*ast.BasicLit)
+	if !ok {
+		return // dynamic format: the prefix cannot be checked statically
+	}
+	format, err := strconv.Unquote(lit.Value)
+	if err != nil {
+		return
+	}
+	if strings.HasPrefix(format, prefix+": ") || strings.Contains(format, "%w") {
+		return
+	}
+	pass.Reportf(lit.Pos(), "error %q crosses the package boundary without the %q prefix or a %%w wrap", format, prefix+": ")
+}

@@ -1,0 +1,123 @@
+// Package lint is goldfishlint: a static-analysis suite that machine-checks
+// the repo's load-bearing conventions — byte-deterministic reports, registry
+// discipline, error-wrapping prefixes and the concurrent-safety contracts of
+// fed.Scorer and attack.Prober. The analyzers mirror the
+// golang.org/x/tools/go/analysis shape (Analyzer / Pass / Diagnostic, with
+// analysistest-style `// want` testdata), but run on a self-contained
+// stdlib-only driver: packages are type-checked from source with
+// dependencies imported from `go list -export` data, so the suite needs no
+// module downloads — a hard requirement for the offline CI image.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named check over a type-checked package.
+type Analyzer struct {
+	// Name is the analyzer's registry name, lowercase-kebab.
+	Name string
+	// Doc is a short one-line summary followed by a blank line and details.
+	Doc string
+	// Run reports this analyzer's diagnostics for one package.
+	Run func(*Pass) error
+}
+
+// Pass carries one analyzer's view of one package plus the Report sink.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Pkg.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostic is one reported violation.
+type Diagnostic struct {
+	// Analyzer is the reporting analyzer's name.
+	Analyzer string
+	// Pos locates the violation.
+	Pos token.Position
+	// Message describes it.
+	Message string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s [%s]", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Message, d.Analyzer)
+}
+
+// Suite returns the goldfishlint analyzers in deterministic order.
+func Suite() []*Analyzer {
+	return []*Analyzer{
+		DeterminismAnalyzer,
+		RegistryAnalyzer,
+		ErrwrapAnalyzer,
+		ConcurrencyAnalyzer,
+	}
+}
+
+// Run applies the analyzers to the packages and returns every diagnostic,
+// sorted by position then analyzer so output is deterministic.
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &Pass{Analyzer: a, Pkg: pkg, diags: &diags}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("lint: %s on %s: %w", a.Name, pkg.Path, err)
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+	return diags, nil
+}
+
+// NondeterministicDirective is the comment that opts one line out of the
+// determinism analyzer — the escape hatch for code that is nondeterministic
+// on purpose, like opt-in wall-time tracking.
+const NondeterministicDirective = "//goldfish:nondeterministic"
+
+// suppressedLines returns the set of lines a //goldfish:nondeterministic
+// directive covers in file: the directive's own line (trailing comment) and,
+// for a directive standing alone on its line, the line below it.
+func suppressedLines(fset *token.FileSet, file *ast.File) map[int]bool {
+	lines := map[int]bool{}
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			if !strings.HasPrefix(c.Text, NondeterministicDirective) {
+				continue
+			}
+			line := fset.Position(c.Pos()).Line
+			lines[line] = true
+			lines[line+1] = true
+		}
+	}
+	return lines
+}

@@ -1,0 +1,178 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// kebabName is the accepted shape of a registry name literal: lowercase
+// kebab, the convention every built-in unlearner ("incompetent-teacher") and
+// attack ("label-flip") follows.
+var kebabName = regexp.MustCompile(`^[a-z][a-z0-9]*(-[a-z0-9]+)*$`)
+
+// RegistryAnalyzer enforces the unlearner/attack registry discipline.
+var RegistryAnalyzer = &Analyzer{
+	Name: "registry",
+	Doc: `enforce registry discipline for unlearner and attack factories
+
+Register calls wire strategies and attack probes into the registries every
+entry point selects from, so they must be deterministic at program start:
+a Register call must occur inside init() with a lowercase-kebab string
+literal name. Exported pass-through wrappers (functions themselves named
+Register*) forwarding a caller-supplied name are the one exception. In
+packages that define a registry (a Register function next to a Types or
+Names listing), a lookup-failure error mentioning an unknown name must
+include the registry listing (Types()/Names()) so the caller learns what is
+available.`,
+	Run: runRegistry,
+}
+
+func runRegistry(pass *Pass) error {
+	// Does this package define a registry? (Register + Types/Names at
+	// package scope.) That scopes the lookup-error check.
+	scope := pass.Pkg.Pkg.Scope()
+	_, hasRegister := scope.Lookup("Register").(*types.Func)
+	var listing *types.Func
+	for _, name := range []string{"Types", "Names"} {
+		if f, ok := scope.Lookup(name).(*types.Func); ok {
+			listing = f
+			break
+		}
+	}
+
+	for _, file := range pass.Pkg.Files {
+		// Track the enclosing function of every node via a manual walk.
+		var walk func(n ast.Node, enclosing *ast.FuncDecl)
+		walk = func(n ast.Node, enclosing *ast.FuncDecl) {
+			switch n := n.(type) {
+			case nil:
+				return
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					walkChildren(n.Body, n, walk)
+				}
+				return
+			case *ast.CallExpr:
+				checkRegisterCall(pass, n, enclosing)
+				if hasRegister && listing != nil {
+					checkLookupError(pass, n, listing)
+				}
+			}
+			walkChildren(n, enclosing, walk)
+		}
+		for _, decl := range file.Decls {
+			walk(decl, nil)
+		}
+	}
+	return nil
+}
+
+// walkChildren visits n's children, threading the enclosing function.
+func walkChildren(n ast.Node, enclosing *ast.FuncDecl, walk func(ast.Node, *ast.FuncDecl)) {
+	ast.Inspect(n, func(c ast.Node) bool {
+		if c == n {
+			return true
+		}
+		walk(c, enclosing)
+		return false
+	})
+}
+
+// registerCallee resolves call to a registry Register function: any function
+// named Register whose first parameter is a string. RegisterAttack /
+// RegisterUnlearner-style public wrappers count too.
+func registerCallee(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, ok := info.Uses[id].(*types.Func)
+	if !ok || !strings.HasPrefix(fn.Name(), "Register") {
+		return nil
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() != nil || sig.Params().Len() < 2 {
+		return nil
+	}
+	if basic, ok := sig.Params().At(0).Type().Underlying().(*types.Basic); !ok || basic.Kind() != types.String {
+		return nil
+	}
+	return fn
+}
+
+// checkRegisterCall enforces that Register happens in init() with a kebab
+// literal, or inside a forwarding Register* wrapper passing its own
+// parameter through.
+func checkRegisterCall(pass *Pass, call *ast.CallExpr, enclosing *ast.FuncDecl) {
+	fn := registerCallee(pass.Pkg.Info, call)
+	if fn == nil || len(call.Args) < 2 {
+		return
+	}
+	nameArg := call.Args[0]
+	lit, isLit := nameArg.(*ast.BasicLit)
+	inInit := enclosing != nil && enclosing.Name.Name == "init" && enclosing.Recv == nil
+	inWrapper := enclosing != nil && enclosing.Recv == nil && strings.HasPrefix(enclosing.Name.Name, "Register")
+	switch {
+	case inInit:
+		if !isLit {
+			pass.Reportf(nameArg.Pos(), "%s name in init() must be a string literal so the registered set is statically known", fn.Name())
+			return
+		}
+		name, err := strconv.Unquote(lit.Value)
+		if err != nil || !kebabName.MatchString(name) {
+			pass.Reportf(lit.Pos(), "registry name %s is not lowercase-kebab (want %s)", lit.Value, kebabName)
+		}
+	case inWrapper && !isLit:
+		// A pass-through wrapper forwarding its caller's name: fine.
+	case isLit:
+		pass.Reportf(call.Pos(), "%s with a literal name outside init(): registrations must be complete at program start", fn.Name())
+	default:
+		pass.Reportf(call.Pos(), "%s outside init() or a Register* forwarding wrapper", fn.Name())
+	}
+}
+
+// checkLookupError requires lookup-failure errors ("unknown …") in a
+// registry package to include the registry's Types()/Names() listing.
+func checkLookupError(pass *Pass, call *ast.CallExpr, listing *types.Func) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	fn, ok := pass.Pkg.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "fmt" || fn.Name() != "Errorf" {
+		return
+	}
+	if len(call.Args) == 0 {
+		return
+	}
+	lit, ok := call.Args[0].(*ast.BasicLit)
+	if !ok {
+		return
+	}
+	format, err := strconv.Unquote(lit.Value)
+	if err != nil || !strings.Contains(strings.ToLower(format), "unknown") {
+		return
+	}
+	for _, arg := range call.Args[1:] {
+		found := false
+		ast.Inspect(arg, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok && pass.Pkg.Info.Uses[id] == listing {
+				found = true
+				return false
+			}
+			return true
+		})
+		if found {
+			return
+		}
+	}
+	pass.Reportf(call.Pos(), "unknown-name registry error must list the available names via %s()", listing.Name())
+}

@@ -1,0 +1,141 @@
+// Package concurrency is testdata for the concurrency analyzer: methods
+// matching the fed.Scorer.Score / attack.Prober.SuccessRate contracts are
+// invoked from many goroutines, so unguarded receiver writes are races. The
+// contracts are matched structurally, so the fake types here exercise the
+// same rules as real implementations.
+package concurrency
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type fakeNet struct{ layers int }
+
+// badScorer mutates shared state with no guard: flagged.
+type badScorer struct {
+	calls int
+	last  []float64
+}
+
+func (s *badScorer) Score(params []float64) (float64, error) {
+	s.calls++       // want "fed.Scorer implementations are called concurrently; writing receiver field \"calls\""
+	s.last = params // want "fed.Scorer implementations are called concurrently; writing receiver field \"last\""
+	return 0, nil
+}
+
+// mutexScorer takes the lock first: compliant.
+type mutexScorer struct {
+	mu    sync.Mutex
+	calls int
+}
+
+func (s *mutexScorer) Score(params []float64) (float64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.calls++
+	return float64(s.calls), nil
+}
+
+// embeddedScorer holds the promoted lock of an embedded mutex: compliant.
+type embeddedScorer struct {
+	sync.Mutex
+	calls int
+}
+
+func (s *embeddedScorer) Score(params []float64) (float64, error) {
+	s.Lock()
+	defer s.Unlock()
+	s.calls++
+	return float64(s.calls), nil
+}
+
+// unlockedScorer writes after releasing the lock: flagged.
+type unlockedScorer struct {
+	mu    sync.Mutex
+	calls int
+}
+
+func (s *unlockedScorer) Score(params []float64) (float64, error) {
+	s.mu.Lock()
+	s.mu.Unlock()
+	s.calls++ // want "fed.Scorer implementations are called concurrently; writing receiver field \"calls\""
+	return 0, nil
+}
+
+// atomicScorer counts through sync/atomic: compliant (no plain write).
+type atomicScorer struct {
+	calls int64
+}
+
+func (s *atomicScorer) Score(params []float64) (float64, error) {
+	atomic.AddInt64(&s.calls, 1)
+	return 0, nil
+}
+
+// readOnlyScorer only reads receiver state: compliant.
+type readOnlyScorer struct {
+	weights []float64
+}
+
+func (s *readOnlyScorer) Score(params []float64) (float64, error) {
+	var sum float64
+	for i, w := range s.weights {
+		if i < len(params) {
+			sum += w * params[i]
+		}
+	}
+	return sum, nil
+}
+
+// valueScorer writes a field of a value receiver: the copy is call-local,
+// not a race — compliant. Its map field, however, aliases shared storage.
+type valueScorer struct {
+	scratch float64
+	cache   map[int]float64
+}
+
+func (s valueScorer) Score(params []float64) (float64, error) {
+	s.scratch = 1
+	s.cache[len(params)] = s.scratch // want "fed.Scorer implementations are called concurrently; writing receiver field \"cache\""
+	return s.scratch, nil
+}
+
+// badProber matches the attack.Prober contract structurally: flagged.
+type badProber struct {
+	hits int
+}
+
+func (p *badProber) SuccessRate(net *fakeNet) float64 {
+	p.hits++ // want "attack.Prober implementations are called concurrently; writing receiver field \"hits\""
+	return float64(p.hits)
+}
+
+// goodProber is stateless per call: compliant.
+type goodProber struct {
+	target int
+}
+
+func (p *goodProber) SuccessRate(net *fakeNet) float64 {
+	if net.layers == p.target {
+		return 1
+	}
+	return 0
+}
+
+// notContract has a Score-like name but a different signature: the
+// concurrency contract does not apply, so receiver writes are fine.
+type notContract struct {
+	calls int
+}
+
+func (n *notContract) Score(a, b int) int {
+	n.calls++
+	return n.calls
+}
+
+// Bump is an ordinary method on a contract-holding type: writes outside the
+// contract methods are not this analyzer's business.
+func (s *badScorer) Bump() {
+	s.calls++
+}

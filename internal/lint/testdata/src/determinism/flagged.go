@@ -1,0 +1,40 @@
+// Package determinism holds flagged cases for the determinism analyzer. It
+// is loaded by linttest under an import path inside the report-producing
+// scope, so every nondeterminism source below must be diagnosed.
+package determinism
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// wallClock reads the process clock two ways.
+func wallClock() float64 {
+	start := time.Now()                // want "call to time.Now in a report-producing package"
+	return time.Since(start).Seconds() // want "call to time.Since in a report-producing package"
+}
+
+// sharedRand draws from math/rand's global source.
+func sharedRand() int {
+	rand.Shuffle(3, func(i, j int) {}) // want "shared top-level math/rand source \\(rand.Shuffle\\)"
+	return rand.Intn(10)               // want "shared top-level math/rand source \\(rand.Intn\\)"
+}
+
+// mapOrder leaks map iteration order three ways.
+func mapOrder(m map[string]int) []string {
+	fmt.Println(m) // want "formatting a map with fmt.Println renders randomized iteration order"
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want "append to \"keys\" inside a map range leaks randomized iteration order"
+	}
+	for k := range m {
+		fmt.Printf("%s\n", k) // want "output written inside a map range iterates in randomized order"
+	}
+	return keys
+}
+
+// mapVerb renders a map through a format verb.
+func mapVerb(m map[string]int) string {
+	return fmt.Sprintf("state: %v", m) // want "formatting a map with fmt.Sprintf renders randomized iteration order"
+}

@@ -1,0 +1,56 @@
+package determinism
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// seededRand is the legal pattern: a seeded generator, drawn per instance.
+func seededRand(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(10)
+}
+
+// sortedCollect is the registry Types() idiom: gather map keys, then sort —
+// the append escapes the loop but is reordered before anyone reads it.
+func sortedCollect(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// aggregate reads a map without leaking order: commutative reduction.
+func aggregate(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// sliceRange ranges over a slice, which is ordered.
+func sliceRange(xs []int) []int {
+	var out []int
+	for _, x := range xs {
+		out = append(out, x*2)
+	}
+	return out
+}
+
+// suppressed opts into wall-time tracking explicitly, the ROADMAP's planned
+// per-cell timing: the directive silences the analyzer on that line.
+func suppressed() time.Time {
+	//goldfish:nondeterministic
+	start := time.Now()
+	_ = time.Since(start) //goldfish:nondeterministic
+	return start
+}
+
+// durationMath uses time without reading the clock.
+func durationMath(d time.Duration) time.Duration {
+	return d * 2
+}

@@ -1,0 +1,29 @@
+// Package determinism_unscoped carries the same nondeterminism sources as
+// the flagged determinism testdata, but linttest loads it under an import
+// path OUTSIDE the report-producing scope — benchmarks and transports may
+// read clocks — so the analyzer must stay silent: no want comments here.
+package determinism_unscoped
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+func wallClock() float64 {
+	start := time.Now()
+	return time.Since(start).Seconds()
+}
+
+func sharedRand() int {
+	return rand.Intn(10)
+}
+
+func mapOrder(m map[string]int) []string {
+	fmt.Println(m)
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}

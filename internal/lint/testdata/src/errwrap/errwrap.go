@@ -1,0 +1,39 @@
+// Package errwrap is testdata for the errwrap analyzer, loaded under an
+// import path inside the scenario errwrap scope: every constructed error
+// must carry the "scenario: " prefix or wrap with %w.
+package errwrap
+
+import (
+	"errors"
+	"fmt"
+)
+
+var errSentinel = errors.New("scenario: sentinel")
+
+// prefixed errors are compliant.
+func prefixed(n int) error {
+	return fmt.Errorf("scenario: bad cell count %d", n)
+}
+
+// wrapped errors keep provenance through %w: no prefix needed.
+func wrapped(err error) error {
+	return fmt.Errorf("parsing spec: %w", err)
+}
+
+// prefixedAndWrapped is the house style.
+func prefixedAndWrapped(err error) error {
+	return fmt.Errorf("scenario: loading report: %w", err)
+}
+
+// bare loses the package prefix: flagged.
+func bare(n int) error {
+	return fmt.Errorf("bad cell count %d", n) // want "crosses the package boundary without the \"scenario: \" prefix"
+}
+
+// bareNew loses the prefix on a sentinel: flagged.
+var errBare = errors.New("not ours") // want "crosses the package boundary without the \"scenario: \" prefix"
+
+// sprintfNew throws away wrapping: flagged everywhere, scope or not.
+func sprintfNew(n int) error {
+	return errors.New(fmt.Sprintf("scenario: bad count %d", n)) // want "errors.New\\(fmt.Sprintf\\(…\\)\\) discards wrapping"
+}

@@ -1,0 +1,19 @@
+// Package errwrap_unscoped is loaded outside any errwrap scope: prefix
+// discipline does not apply, but errors.New(fmt.Sprintf(…)) is forbidden
+// module-wide.
+package errwrap_unscoped
+
+import (
+	"errors"
+	"fmt"
+)
+
+// anyPrefix is fine outside the scoped packages.
+func anyPrefix(n int) error {
+	return fmt.Errorf("whatever message %d", n)
+}
+
+// sprintfNew is still flagged: the rule is global.
+func sprintfNew(n int) error {
+	return errors.New(fmt.Sprintf("count %d", n)) // want "errors.New\\(fmt.Sprintf\\(…\\)\\) discards wrapping"
+}

@@ -1,0 +1,77 @@
+// Package registry is testdata for the registry analyzer: it defines a
+// miniature factory registry in the shape internal/attack and
+// internal/unlearn share (Register + Types over a package map), with both
+// compliant and violating registrations and lookup errors.
+package registry
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Factory creates one widget.
+type Factory func() int
+
+var registry = map[string]Factory{}
+
+// Register adds a factory under name.
+func Register(name string, f Factory) {
+	if name == "" || f == nil {
+		panic("registry: Register with empty name or nil factory")
+	}
+	registry[name] = f
+}
+
+// Types lists the registered names, sorted.
+func Types() []string {
+	out := make([]string, 0, len(registry))
+	for name := range registry {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// New returns the named factory's product; its lookup error lists Types().
+func New(name string) (int, error) {
+	f, ok := registry[name]
+	if !ok {
+		return 0, fmt.Errorf("registry: unknown widget %q (registered: %v)", name, Types())
+	}
+	return f(), nil
+}
+
+// NewBare is the violating lookup: "unknown" without the Types() listing.
+func NewBare(name string) (int, error) {
+	f, ok := registry[name]
+	if !ok {
+		return 0, fmt.Errorf("registry: unknown widget %q", name) // want "unknown-name registry error must list the available names via Types"
+	}
+	return f(), nil
+}
+
+func init() {
+	Register("good-name", func() int { return 1 })
+	Register("also-fine-2", func() int { return 2 })
+	Register("BadCase", func() int { return 3 })    // want "registry name \"BadCase\" is not lowercase-kebab"
+	Register("snake_case", func() int { return 4 }) // want "registry name \"snake_case\" is not lowercase-kebab"
+	Register("-leading", func() int { return 5 })   // want "registry name \"-leading\" is not lowercase-kebab"
+	name := "computed"
+	Register(name, func() int { return 6 }) // want "name in init\\(\\) must be a string literal"
+}
+
+// RegisterWidget is a public forwarding wrapper: passing its caller's name
+// through is the one legal non-init registration.
+func RegisterWidget(name string, f Factory) {
+	Register(name, f)
+}
+
+// sneakyRegister registers outside init with a literal: flagged.
+func sneakyRegister() {
+	Register("late-literal", func() int { return 7 }) // want "Register with a literal name outside init"
+}
+
+// dynamicOutside registers outside init and outside any wrapper: flagged.
+func dynamicOutside(name string) {
+	Register(name, func() int { return 8 }) // want "Register outside init\\(\\) or a Register\\* forwarding wrapper"
+}

@@ -85,15 +85,19 @@ var (
 	registry   = map[string]Factory{}
 )
 
-// Register adds a strategy factory under name, replacing any previous
-// registration. The built-in names are "goldfish", "retrain" (B1), "fisher"
-// (B2) and "incompetent-teacher" (B3).
+// Register adds a strategy factory under name. Registering a name twice is a
+// wiring bug, not a runtime condition, so it panics rather than silently
+// replacing the earlier factory. The built-in names are "goldfish", "retrain"
+// (B1), "fisher" (B2) and "incompetent-teacher" (B3).
 func Register(name string, f Factory) {
 	if name == "" || f == nil {
 		panic("unlearn: Register with empty name or nil factory")
 	}
 	registryMu.Lock()
 	defer registryMu.Unlock()
+	if _, dup := registry[name]; dup {
+		panic("unlearn: Register called twice for strategy " + name)
+	}
 	registry[name] = f
 }
 

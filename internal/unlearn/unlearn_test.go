@@ -3,6 +3,7 @@ package unlearn
 import (
 	"context"
 	"math/rand"
+	"strings"
 	"testing"
 
 	"goldfish/internal/core"
@@ -563,5 +564,49 @@ func TestRequestClassDeletion(t *testing.T) {
 	}
 	if err := f.Run(context.Background(), 1, nil); err != nil {
 		t.Fatalf("round after class deletion: %v", err)
+	}
+}
+
+// mustPanic runs fn and fails the test unless it panics with a message
+// containing wantMsg.
+func mustPanic(t *testing.T, what, wantMsg string, fn func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Errorf("%s: Register did not panic", what)
+			return
+		}
+		if msg, ok := r.(string); !ok || !strings.Contains(msg, wantMsg) {
+			t.Errorf("%s: panic = %v, want message containing %q", what, r, wantMsg)
+		}
+	}()
+	fn()
+}
+
+// TestRegisterMisusePanics pins the registry's wiring-bug contract: duplicate
+// names, empty names and nil factories all panic instead of silently
+// replacing or registering broken entries.
+func TestRegisterMisusePanics(t *testing.T) {
+	factory := func() Strategy { return &Goldfish{} }
+	mustPanic(t, "duplicate name", "Register called twice", func() { Register("goldfish", factory) })
+	mustPanic(t, "empty name", "empty name", func() { Register("", factory) })
+	mustPanic(t, "nil factory", "nil factory", func() { Register("nil-factory-strategy", nil) })
+	if _, err := New("nil-factory-strategy"); err == nil {
+		t.Error("rejected registration still reachable via New")
+	}
+}
+
+// TestUnknownStrategyErrorListsNames asserts the lookup-failure error names
+// every registered strategy, so a typo in a spec is self-diagnosing.
+func TestUnknownStrategyErrorListsNames(t *testing.T) {
+	_, err := New("no-such-strategy")
+	if err == nil {
+		t.Fatal("New(unknown) succeeded")
+	}
+	for _, name := range Names() {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("unknown-strategy error %q does not list registered name %q", err, name)
+		}
 	}
 }

@@ -1,0 +1,18 @@
+// Package version centralizes the release stamp the goldfish CLIs print for
+// their -version flag, so one bump covers every binary.
+package version
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+)
+
+// Version is the goldfish release stamp, bumped once per release for all
+// CLIs.
+const Version = "0.6.0"
+
+// Fprint writes the canonical one-line version banner for the named tool.
+func Fprint(w io.Writer, tool string) {
+	fmt.Fprintf(w, "%s %s (%s)\n", tool, Version, runtime.Version())
+}
