@@ -3,6 +3,9 @@ package main
 import (
 	"bytes"
 	"fmt"
+	"go/token"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -43,6 +46,69 @@ func TestLintRulesMatchesSuite(t *testing.T) {
 		if !ok || !known[name] {
 			t.Errorf("-lint-rules lists %q, which is not in lint.Suite()", line)
 		}
+	}
+}
+
+// TestSuiteRoster pins the full analyzer roster in order, so growing or
+// shrinking the suite is an explicit, reviewed change rather than a silent
+// side effect of a refactor.
+func TestSuiteRoster(t *testing.T) {
+	want := []string{
+		"determinism", "registry", "errwrap", "concurrency",
+		"hotpathalloc", "ctxflow", "lockorder", "apisurface",
+	}
+	suite := lint.Suite()
+	if len(suite) != len(want) {
+		t.Fatalf("lint.Suite() has %d analyzers, want %d", len(suite), len(want))
+	}
+	for i, a := range suite {
+		if a.Name != want[i] {
+			t.Errorf("lint.Suite()[%d] = %q, want %q", i, a.Name, want[i])
+		}
+	}
+}
+
+// TestDiagnosticFormats pins both output modes on a fabricated diagnostic:
+// the human file:line:col one-per-line form (the default) and the -json
+// one-object-per-line form.
+func TestDiagnosticFormats(t *testing.T) {
+	diags := []lint.Diagnostic{{
+		Analyzer: "hotpathalloc",
+		Pos:      token.Position{Filename: "internal/tensor/ops.go", Line: 42, Column: 7},
+		Message:  "make allocates in a hot path",
+	}}
+
+	var human bytes.Buffer
+	printDiags(&human, diags, false)
+	if got, want := human.String(), "internal/tensor/ops.go:42:7: make allocates in a hot path [hotpathalloc]\n"; got != want {
+		t.Errorf("human format = %q, want %q", got, want)
+	}
+
+	var js bytes.Buffer
+	printDiags(&js, diags, true)
+	want := `{"file":"internal/tensor/ops.go","line":42,"analyzer":"hotpathalloc","message":"make allocates in a hot path"}` + "\n"
+	if got := js.String(); got != want {
+		t.Errorf("json format = %q, want %q", got, want)
+	}
+}
+
+// TestAPIModePrintsGolden pins `goldfishlint -api` to the committed golden:
+// the CLI renders exactly the bytes the apisurface analyzer gates on, so
+// `goldfishlint -api > api/goldfish.txt` is a valid regeneration path.
+func TestAPIModePrintsGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("invokes go list -export")
+	}
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-api"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-api exited %d, stderr: %s", code, stderr.String())
+	}
+	golden, err := os.ReadFile(filepath.Join("..", "..", "api", "goldfish.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stdout.String() != string(golden) {
+		t.Errorf("-api output diverges from committed api/goldfish.txt:\n%s", stdout.String())
 	}
 }
 

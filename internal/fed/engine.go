@@ -77,6 +77,11 @@ type Engine struct {
 	global  []float64
 	round   int
 	sampler *rand.Rand
+
+	// sampleBuf backs the participant slice returned by sample; it is
+	// overwritten every round, which is safe because participants are only
+	// read during their own round.
+	sampleBuf []int
 }
 
 // NewEngine validates the configuration and initial parameters.
@@ -128,10 +133,14 @@ func (e *Engine) Run(ctx context.Context, n int) error {
 	return nil
 }
 
-// sample returns the participant indices for a round.
+// sample returns the participant indices for a round. The returned slice
+// aliases the engine's reusable buffer and is valid until the next sample.
 func (e *Engine) sample() []int {
 	n := e.trans.NumClients()
-	all := make([]int, n)
+	if cap(e.sampleBuf) < n {
+		e.sampleBuf = make([]int, n) //goldfish:allocok — grow-once buffer, reused across rounds
+	}
+	all := e.sampleBuf[:n]
 	for i := range all {
 		all[i] = i
 	}
@@ -155,6 +164,8 @@ func (e *Engine) sample() []int {
 }
 
 // RunRound executes one federation round.
+//
+//goldfish:hotpath
 func (e *Engine) RunRound(ctx context.Context) error {
 	participants := e.sample()
 	if len(participants) == 0 {
@@ -169,14 +180,14 @@ func (e *Engine) RunRound(ctx context.Context) error {
 
 	results := e.trans.ExecuteRound(roundCtx, e.round, participants, e.global)
 
-	updates := make([]ModelUpdate, 0, len(results))
+	updates := make([]ModelUpdate, 0, len(results)) //goldfish:allocok — escapes to Aggregator and OnRound per round
 	var dropped []int
 	for _, r := range results {
 		if r.Err != nil {
-			dropped = append(dropped, r.Index)
+			dropped = append(dropped, r.Index) //goldfish:allocok — escapes via RoundInfo
 			continue
 		}
-		updates = append(updates, r.Update)
+		updates = append(updates, r.Update) //goldfish:allocok — escapes to Aggregator and OnRound
 	}
 	minOK := e.cfg.MinClients
 	if minOK > len(participants) {
@@ -191,7 +202,7 @@ func (e *Engine) RunRound(ctx context.Context) error {
 		// Client updates are independent, so the server-side quality probe
 		// (Eq. 12) scores them concurrently; Scorer implementations must be
 		// safe for concurrent use (see the Scorer contract).
-		scoreErrs := make([]error, len(updates))
+		scoreErrs := make([]error, len(updates)) //goldfish:allocok — once per scored round, not per client
 		var wg sync.WaitGroup
 		for i := range updates {
 			wg.Add(1)
@@ -223,7 +234,7 @@ func (e *Engine) RunRound(ctx context.Context) error {
 	if e.cfg.OnRound != nil {
 		e.cfg.OnRound(RoundInfo{
 			Round:   e.round - 1,
-			Global:  append([]float64(nil), global...),
+			Global:  append([]float64(nil), global...), //goldfish:allocok — documented defensive copy: callbacks may retain it
 			Updates: updates,
 			Dropped: dropped,
 		})
@@ -262,14 +273,14 @@ func (t *LocalTransport) Remove(i int) error {
 
 // ExecuteRound implements Transport.
 func (t *LocalTransport) ExecuteRound(ctx context.Context, round int, participants []int, global []float64) []RoundResult {
-	results := make([]RoundResult, len(participants))
+	results := make([]RoundResult, len(participants)) //goldfish:allocok — result set escapes to the engine
 	var wg sync.WaitGroup
 	for k, idx := range participants {
 		wg.Add(1)
 		go func(k, idx int) {
 			defer wg.Done()
 			// Each trainer receives its own copy of the global vector.
-			g := append([]float64(nil), global...)
+			g := append([]float64(nil), global...) //goldfish:allocok — per-trainer isolation is the Transport contract
 			u, err := t.trainers[idx].TrainRound(ctx, round, g)
 			results[k] = RoundResult{Index: idx, Update: u, Err: err}
 		}(k, idx)

@@ -75,7 +75,7 @@ func (FedAvg) Aggregate(updates []ModelUpdate) ([]float64, error) {
 		}
 		total += u.NumSamples
 	}
-	out := make([]float64, size)
+	out := make([]float64, size) //goldfish:allocok — the new global vector escapes to the engine
 	if total == 0 {
 		// Degenerate: unweighted mean.
 		inv := 1 / float64(len(updates))
@@ -122,7 +122,7 @@ func (AdaptiveWeight) Aggregate(updates []ModelUpdate) ([]float64, error) {
 	}
 	avg /= float64(len(updates))
 
-	weights := make([]float64, len(updates))
+	weights := make([]float64, len(updates)) //goldfish:allocok — once per round, size = client count
 	var theta float64
 	for i, u := range updates {
 		if avg == 0 {
@@ -132,7 +132,7 @@ func (AdaptiveWeight) Aggregate(updates []ModelUpdate) ([]float64, error) {
 		}
 		theta += weights[i]
 	}
-	out := make([]float64, size)
+	out := make([]float64, size) //goldfish:allocok — the new global vector escapes to the engine
 	for i, u := range updates {
 		w := weights[i] / theta
 		for j, v := range u.Params {

@@ -120,7 +120,7 @@ func (t *tcpTransport) NumClients() int { return len(t.clients) }
 // deadline.
 func (t *tcpTransport) ExecuteRound(ctx context.Context, round int, participants []int, global []float64) []RoundResult {
 	deadline, hasDeadline := ctx.Deadline()
-	results := make([]RoundResult, len(participants))
+	results := make([]RoundResult, len(participants)) //goldfish:allocok — result set escapes to the engine
 	var wg sync.WaitGroup
 	for k, idx := range participants {
 		c := t.clients[idx]

@@ -51,3 +51,49 @@ func TestErrwrapUnscoped(t *testing.T) {
 func TestConcurrency(t *testing.T) {
 	linttest.Run(t, testdata("concurrency"), "goldfish/internal/lint/linttestdata/concurrency", lint.ConcurrencyAnalyzer)
 }
+
+// TestHotPathAlloc pins the call-graph-aware allocation rule inside the
+// scoped packages: builtins, composite literals and constructor calls
+// reachable from a //goldfish:hotpath root are flagged; //goldfish:coldpath
+// cuts subtrees out of reachability and //goldfish:allocok vouches for lines.
+func TestHotPathAlloc(t *testing.T) {
+	linttest.Run(t, testdata("hotpathalloc"), "goldfish/internal/tensor/linttestdata/hotpathalloc", lint.HotPathAllocAnalyzer)
+}
+
+// TestCtxFlow pins both context rules against a package inside the sink
+// scope: manufactured Background/TODO contexts with a parameter in scope,
+// and context parameters accepted but never used on a path to the sink
+// layer; //goldfish:ctxok opts out per line or per declaration.
+func TestCtxFlow(t *testing.T) {
+	linttest.Run(t, testdata("ctxflow"), "goldfish/internal/fed/linttestdata/ctxflow", lint.CtxFlowAnalyzer)
+}
+
+// TestLockOrder pins the interprocedural acquisition-order rule: direct and
+// call-graph-transitive opposite-order pairs and self-re-entry are flagged;
+// a consistent global order is silent; //goldfish:lockok removes an edge.
+func TestLockOrder(t *testing.T) {
+	linttest.Run(t, testdata("lockorder"), "goldfish/internal/lint/linttestdata/lockorder", lint.LockOrderAnalyzer)
+}
+
+// TestAPISurfaceMatch loads a fixture under import path "goldfish" whose
+// committed golden matches its surface: the gate stays silent.
+func TestAPISurfaceMatch(t *testing.T) {
+	linttest.Run(t, testdata("apisurface"), "goldfish", lint.APISurfaceAnalyzer)
+}
+
+// TestAPISurfaceMissing pins the demand for a golden when none is committed.
+func TestAPISurfaceMissing(t *testing.T) {
+	linttest.Run(t, testdata("apisurface_missing"), "goldfish", lint.APISurfaceAnalyzer)
+}
+
+// TestAPISurfaceMismatch pins the first-difference report against a stale
+// golden.
+func TestAPISurfaceMismatch(t *testing.T) {
+	linttest.Run(t, testdata("apisurface_mismatch"), "goldfish", lint.APISurfaceAnalyzer)
+}
+
+// TestAPISurfaceAPIOK pins the //goldfish:apiok mid-refactor escape on the
+// package clause: even a missing golden stays silent.
+func TestAPISurfaceAPIOK(t *testing.T) {
+	linttest.Run(t, testdata("apisurface_apiok"), "goldfish", lint.APISurfaceAnalyzer)
+}

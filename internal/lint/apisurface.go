@@ -1,0 +1,179 @@
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// APISurfaceGolden is the module-relative path of the exported-surface
+// golden for the root goldfish package.
+const APISurfaceGolden = "api/goldfish.txt"
+
+// APISurfaceRegenHint tells a failing CI run how to accept an intentional
+// surface change.
+const APISurfaceRegenHint = "go test ./internal/lint -run TestAPISurface -update"
+
+// APISurfaceAnalyzer byte-compares the root package's exported surface
+// against the committed golden.
+var APISurfaceAnalyzer = &Analyzer{
+	Name: "apisurface",
+	Doc: `gate the root package's exported API against a committed golden
+
+The exported surface of package goldfish is the contract every embedder,
+scenario spec and CLI builds on; a renamed method or a changed signature must
+be an explicit, reviewed diff, not an accident noticed downstream. This
+analyzer renders the package's exported consts, vars, funcs, types, fields
+and methods into a canonical text form and byte-compares it against
+api/goldfish.txt next to the package. Regenerate deliberately with
+` + "`" + APISurfaceRegenHint + "`" + `. A //goldfish:apiok directive on the
+package clause line opts out — a mid-refactor escape only.`,
+	Run: runAPISurface,
+}
+
+func runAPISurface(pass *Pass) error {
+	if pass.Pkg.Path != "goldfish" || len(pass.Pkg.Files) == 0 {
+		return nil
+	}
+	first := pass.Pkg.Files[0]
+	apiOK := directiveLines(pass.Pkg.Fset, first, APIOKDirective)
+	if apiOK[pass.Pkg.Fset.Position(first.Package).Line] {
+		return nil
+	}
+	dir := filepath.Dir(pass.Pkg.Fset.Position(first.Pos()).Filename)
+	goldenPath := filepath.Join(dir, filepath.FromSlash(APISurfaceGolden))
+	got := Surface(pass.Pkg)
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		pass.Reportf(first.Package, "exported API surface golden %s is missing; generate it with %q",
+			APISurfaceGolden, APISurfaceRegenHint)
+		return nil
+	}
+	if got == string(want) {
+		return nil
+	}
+	gotLines := strings.Split(got, "\n")
+	wantLines := strings.Split(string(want), "\n")
+	detail := "length differs"
+	for i := 0; i < len(gotLines) || i < len(wantLines); i++ {
+		var g, w string
+		if i < len(gotLines) {
+			g = gotLines[i]
+		}
+		if i < len(wantLines) {
+			w = wantLines[i]
+		}
+		if g != w {
+			detail = fmt.Sprintf("first difference at line %d: have %q, golden %q", i+1, g, w)
+			break
+		}
+	}
+	pass.Reportf(first.Package, "exported API surface differs from %s (%s); if intentional, regenerate with %q",
+		APISurfaceGolden, detail, APISurfaceRegenHint)
+	return nil
+}
+
+// Surface renders the package's exported API in a canonical, deterministic
+// text form: one header line, then every exported const, var, func and type
+// in scope order (alphabetical), with exported struct fields, interface
+// methods and the exported method set indented under each type. Types from
+// other packages print with their full import paths; the package's own types
+// print bare.
+func Surface(pkg *Package) string {
+	var b strings.Builder
+	qual := types.RelativeTo(pkg.Pkg)
+	fmt.Fprintf(&b, "package %s // import %q\n", pkg.Name, pkg.Path)
+	scope := pkg.Pkg.Scope()
+	for _, name := range scope.Names() {
+		if !token.IsExported(name) {
+			continue
+		}
+		switch o := scope.Lookup(name).(type) {
+		case *types.Const:
+			fmt.Fprintf(&b, "const %s %s = %s\n", name, types.TypeString(o.Type(), qual), o.Val())
+		case *types.Var:
+			fmt.Fprintf(&b, "var %s %s\n", name, types.TypeString(o.Type(), qual))
+		case *types.Func:
+			fmt.Fprintf(&b, "func %s%s\n", name, signatureString(o.Type().(*types.Signature), qual))
+		case *types.TypeName:
+			writeTypeSurface(&b, o, qual)
+		}
+	}
+	return b.String()
+}
+
+func writeTypeSurface(b *strings.Builder, o *types.TypeName, qual types.Qualifier) {
+	name := o.Name()
+	if o.IsAlias() {
+		// Unalias so the right-hand side names the aliased type (with its
+		// package path), not the alias itself.
+		fmt.Fprintf(b, "type %s = %s\n", name, types.TypeString(types.Unalias(o.Type()), qual))
+	} else {
+		switch u := o.Type().Underlying().(type) {
+		case *types.Struct:
+			fmt.Fprintf(b, "type %s struct\n", name)
+			for i := 0; i < u.NumFields(); i++ {
+				f := u.Field(i)
+				if !f.Exported() {
+					continue
+				}
+				line := fmt.Sprintf("    %s %s", f.Name(), types.TypeString(f.Type(), qual))
+				if tag := u.Tag(i); tag != "" {
+					line += " " + fmt.Sprintf("%q", tag)
+				}
+				fmt.Fprintln(b, line)
+			}
+		case *types.Interface:
+			fmt.Fprintf(b, "type %s interface\n", name)
+			var methods []string
+			for i := 0; i < u.NumMethods(); i++ {
+				m := u.Method(i)
+				if !m.Exported() {
+					continue
+				}
+				methods = append(methods, fmt.Sprintf("    %s%s", m.Name(), signatureString(m.Type().(*types.Signature), qual)))
+			}
+			sort.Strings(methods)
+			for _, m := range methods {
+				fmt.Fprintln(b, m)
+			}
+		default:
+			fmt.Fprintf(b, "type %s %s\n", name, types.TypeString(u, qual))
+		}
+	}
+	// Exported method set through a pointer receiver — the superset callers
+	// see. Rendered for aliases too: methods reachable through the alias are
+	// part of the surface the alias exposes.
+	var methods []string
+	mset := types.NewMethodSet(types.NewPointer(o.Type()))
+	for i := 0; i < mset.Len(); i++ {
+		fn, ok := mset.At(i).Obj().(*types.Func)
+		if !ok || !fn.Exported() {
+			continue
+		}
+		sig, ok := fn.Type().(*types.Signature)
+		if !ok {
+			continue
+		}
+		recv := ""
+		if sig.Recv() != nil {
+			recv = types.TypeString(sig.Recv().Type(), qual)
+		}
+		methods = append(methods, fmt.Sprintf("    func (%s) %s%s", recv, fn.Name(), signatureString(sig, qual)))
+	}
+	sort.Strings(methods)
+	for _, m := range methods {
+		fmt.Fprintln(b, m)
+	}
+}
+
+// signatureString renders a signature without its receiver and without the
+// leading "func" keyword: "(opts ...Option) (*Engine, error)".
+func signatureString(sig *types.Signature, qual types.Qualifier) string {
+	noRecv := types.NewSignatureType(nil, nil, nil, sig.Params(), sig.Results(), sig.Variadic())
+	return strings.TrimPrefix(types.TypeString(noRecv, qual), "func")
+}

@@ -1,0 +1,76 @@
+package lint_test
+
+import (
+	"flag"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"goldfish/internal/lint"
+)
+
+// update regenerates api/goldfish.txt instead of comparing against it:
+//
+//	go test ./internal/lint -run TestAPISurface -update
+var update = flag.Bool("update", false, "rewrite api/goldfish.txt from the current exported surface")
+
+// TestAPISurface byte-compares the root package's rendered exported surface
+// against the committed golden, so a public API change is always an explicit
+// reviewed diff. The apisurface analyzer applies the same comparison inside
+// the repo-wide lint run; this test owns the -update regeneration path.
+func TestAPISurface(t *testing.T) {
+	if testing.Short() {
+		t.Skip("invokes go list -export")
+	}
+	out, err := exec.Command("go", "env", "GOMOD").Output()
+	if err != nil {
+		t.Fatal(err)
+	}
+	moduleDir := filepath.Dir(strings.TrimSpace(string(out)))
+	loader, err := lint.NewLoader(moduleDir, "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.Load("goldfish")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("loaded %d packages for pattern goldfish, want 1", len(pkgs))
+	}
+	got := lint.Surface(pkgs[0])
+	goldenPath := filepath.Join(moduleDir, filepath.FromSlash(lint.APISurfaceGolden))
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", lint.APISurfaceGolden, len(got))
+		return
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("missing golden %s (generate with %s): %v", lint.APISurfaceGolden, lint.APISurfaceRegenHint, err)
+	}
+	if got != string(want) {
+		gotLines, wantLines := strings.Split(got, "\n"), strings.Split(string(want), "\n")
+		for i := 0; i < len(gotLines) || i < len(wantLines); i++ {
+			var g, w string
+			if i < len(gotLines) {
+				g = gotLines[i]
+			}
+			if i < len(wantLines) {
+				w = wantLines[i]
+			}
+			if g != w {
+				t.Errorf("surface line %d:\n  have: %s\n  want: %s", i+1, g, w)
+			}
+		}
+		t.Fatalf("exported API surface differs from %s; if intentional, regenerate with: %s",
+			lint.APISurfaceGolden, lint.APISurfaceRegenHint)
+	}
+}

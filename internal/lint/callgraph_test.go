@@ -1,0 +1,55 @@
+package lint_test
+
+import (
+	"slices"
+	"strings"
+	"testing"
+
+	"goldfish/internal/lint"
+	"goldfish/internal/lint/linttest"
+)
+
+// cgPath is the synthetic import path of the call-graph fixture package.
+const cgPath = "goldfish/internal/lint/linttestdata/callgraph"
+
+// buildCallgraphProgram loads the fixture fresh and builds its Program, so
+// each call observes its own map-iteration history.
+func buildCallgraphProgram(t *testing.T) *lint.Program {
+	t.Helper()
+	pkg, err := linttest.Loader(t).LoadDir(testdata("callgraph"), cgPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lint.BuildProgram([]*lint.Package{pkg})
+}
+
+// TestCallGraphEdges pins the three resolution modes the analyzers depend
+// on: interface dispatch over-approximates to every same-signature
+// implementation, method values resolve through the flow layer, and calls
+// into other module packages produce cross-package edges.
+func TestCallGraphEdges(t *testing.T) {
+	edges := buildCallgraphProgram(t).Edges()
+	want := []string{
+		cgPath + ".Dispatch -> (" + cgPath + ".A).Do",
+		cgPath + ".Dispatch -> (" + cgPath + ".B).Do",
+		cgPath + ".MethodValue -> (" + cgPath + ".A).Do",
+		cgPath + ".CrossPackage -> goldfish/internal/stats.Mean",
+	}
+	for _, w := range want {
+		if !slices.Contains(edges, w) {
+			t.Errorf("call graph missing edge %q; have:\n%s", w, strings.Join(edges, "\n"))
+		}
+	}
+}
+
+// TestCallGraphDeterminism pins that two independent builds over the same
+// sources enumerate Edges() identically — the property analyzer output
+// ordering (and CI byte-diffs) rides on.
+func TestCallGraphDeterminism(t *testing.T) {
+	a := buildCallgraphProgram(t).Edges()
+	b := buildCallgraphProgram(t).Edges()
+	if !slices.Equal(a, b) {
+		t.Errorf("two builds enumerated different edges:\n%s\n\nvs:\n\n%s",
+			strings.Join(a, "\n"), strings.Join(b, "\n"))
+	}
+}

@@ -1,0 +1,159 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxFlowSinkPrefixes names the packages whose context-taking functions are
+// the cancellation sinks: the transport/engine layer, where a dropped
+// context means a round that cannot be cancelled or timed out.
+var CtxFlowSinkPrefixes = []string{
+	"goldfish/internal/fed",
+}
+
+// CtxFlowAnalyzer enforces that context.Context parameters are threaded to
+// the transport/engine layer, not dropped or replaced.
+var CtxFlowAnalyzer = &Analyzer{
+	Name: "ctxflow",
+	Doc: `require context parameters to be threaded, not dropped or replaced
+
+Every path from a public API entry into the transport/engine layer
+(internal/fed) must carry the caller's context.Context: a round started with
+context.Background() cannot be cancelled, timed out, or drained on shutdown.
+Two rules. First, a function that has a context parameter in lexical scope
+must not manufacture context.Background()/context.TODO() — that replaces the
+caller's cancellation. Second, using the call graph, a function whose
+signature accepts a context and that reaches (or is) a context-taking
+function in the sink layer must actually use its parameter — accepting a
+context and then ignoring it silently severs cancellation for every caller.
+//goldfish:ctxok suppresses one line (rule one) or, on the declaration line,
+one function (rule two) — the escape for deliberate detachment like
+fire-and-forget cleanup.`,
+	Run: runCtxFlow,
+}
+
+func runCtxFlow(pass *Pass) error {
+	sinks := ctxSinks(pass.Prog)
+	reaches := pass.Prog.Memo("ctxflow.reaches", func() any {
+		return pass.Prog.ReachesAny(sinks)
+	}).(map[string]bool)
+	info := pass.Pkg.Info
+	for _, file := range pass.Pkg.Files {
+		ctxOK := directiveLines(pass.Pkg.Fset, file, CtxOKDirective)
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			param := ctxParam(info, fd.Type)
+			if param == nil {
+				continue
+			}
+			// Rule one: no manufactured contexts anywhere in lexical scope of
+			// the parameter — nested literals capture it, so they are included.
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				fn, ok := info.Uses[sel.Sel].(*types.Func)
+				if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "context" {
+					return true
+				}
+				if name := fn.Name(); name == "Background" || name == "TODO" {
+					if !ctxOK[pass.Pkg.Fset.Position(call.Pos()).Line] {
+						pass.Reportf(call.Pos(), "context.%s replaces the %s parameter already in scope; thread it instead (opt out with %s)",
+							name, param.Name(), CtxOKDirective)
+					}
+				}
+				return true
+			})
+			// Rule two: a context-taking function on a path into the sink
+			// layer must use its parameter.
+			node := pass.Prog.NodeOf(fd)
+			if node == nil || !reaches[node.Key] {
+				continue
+			}
+			if param.Name() == "" || param.Name() == "_" {
+				continue
+			}
+			if ctxOK[pass.Pkg.Fset.Position(fd.Pos()).Line] {
+				continue
+			}
+			if !usesObject(fd.Body, info, param) {
+				pass.Reportf(fd.Name.Pos(), "%s accepts context parameter %q but never uses it on a path to the transport/engine layer; thread it or annotate %s",
+					fd.Name.Name, param.Name(), CtxOKDirective)
+			}
+		}
+	}
+	return nil
+}
+
+// ctxSinks returns the node keys of loaded context-taking functions in the
+// sink packages.
+func ctxSinks(prog *Program) map[string]bool {
+	return prog.Memo("ctxflow.sinks", func() any {
+		sinks := map[string]bool{}
+		for _, key := range prog.Keys() {
+			n := prog.Nodes[key]
+			if n.Pkg == nil || !reportProducing(n.Pkg.Path, CtxFlowSinkPrefixes) {
+				continue
+			}
+			fd, ok := n.Decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			if ctxParam(n.Pkg.Info, fd.Type) != nil {
+				sinks[key] = true
+			}
+		}
+		return sinks
+	}).(map[string]bool)
+}
+
+// ctxParam returns the declared context.Context parameter's object, or nil.
+func ctxParam(info *types.Info, ft *ast.FuncType) *types.Var {
+	if ft.Params == nil {
+		return nil
+	}
+	for _, field := range ft.Params.List {
+		tv, ok := info.Types[field.Type]
+		if !ok || tv.Type == nil || !isContextType(tv.Type) {
+			continue
+		}
+		for _, name := range field.Names {
+			if obj, ok := info.Defs[name].(*types.Var); ok {
+				return obj
+			}
+		}
+	}
+	return nil
+}
+
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Pkg().Path() == "context" && named.Obj().Name() == "Context"
+}
+
+// usesObject reports whether any identifier in body resolves to obj.
+func usesObject(body ast.Node, info *types.Info, obj types.Object) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok && info.Uses[id] == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,661 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+)
+
+// This file adds a lightweight value-flow layer under the call graph: a
+// flow-insensitive, field- and parameter-sensitive propagation of function
+// values through assignments, call arguments, struct fields and returns.
+// Without it, every call through a function value would resolve by signature
+// alone — and `func(int, int)` closures are so common that the worker pool's
+// `t.fn(t.lo, t.hi)` would conservatively edge to every two-int closure in
+// the module, manufacturing phantom cycles (a training-round goroutine
+// "reachable" from a tensor kernel). With it, a dynamic call resolves to the
+// values that can actually flow into its callee slot; the signature-matching
+// fallback remains for slots the model cannot see into (marked ⊤: values
+// from unloaded calls, type assertions, ranges, or the parameters of
+// address-taken and exported functions, which tests and embedders may call
+// with anything).
+
+// flowSlot is one storage location function values flow through: a local
+// var or parameter, a package-level var, a struct field (keyed per package,
+// name and signature — fields of distinct types may merge, which only adds
+// edges), or one return value of a function.
+type flowSlot struct {
+	keys map[string]bool
+	top  bool
+	out  []*flowSlot
+}
+
+func (s *flowSlot) add(key string) bool {
+	if s.keys == nil {
+		s.keys = map[string]bool{}
+	}
+	if s.keys[key] {
+		return false
+	}
+	s.keys[key] = true
+	return true
+}
+
+type flowGraph struct {
+	b        *progBuilder
+	locals   map[types.Object]*flowSlot
+	globals  map[string]*flowSlot
+	fields   map[string]*flowSlot
+	returns  map[string]*flowSlot
+	allSlots []*flowSlot
+}
+
+func newFlowGraph(b *progBuilder) *flowGraph {
+	return &flowGraph{
+		b:       b,
+		locals:  map[types.Object]*flowSlot{},
+		globals: map[string]*flowSlot{},
+		fields:  map[string]*flowSlot{},
+		returns: map[string]*flowSlot{},
+	}
+}
+
+// funcish reports whether values of t are callable function values worth
+// tracking.
+func funcish(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Signature)
+	return ok
+}
+
+func (fg *flowGraph) newSlot() *flowSlot {
+	s := &flowSlot{}
+	fg.allSlots = append(fg.allSlots, s)
+	return s
+}
+
+// varSlot returns the slot for a variable object. Package-level vars key by
+// path+name so source-checked and export-data instances share one slot.
+func (fg *flowGraph) varSlot(obj *types.Var) *flowSlot {
+	if obj.Pkg() != nil && obj.Parent() == obj.Pkg().Scope() {
+		id := obj.Pkg().Path() + "." + obj.Name()
+		if s, ok := fg.globals[id]; ok {
+			return s
+		}
+		s := fg.newSlot()
+		fg.globals[id] = s
+		return s
+	}
+	if s, ok := fg.locals[obj]; ok {
+		return s
+	}
+	s := fg.newSlot()
+	fg.locals[obj] = s
+	return s
+}
+
+// fieldSlot keys a struct field by declaring package, field name and
+// signature. Identically-shaped fields of different structs share a slot —
+// a merge that only over-approximates.
+func (fg *flowGraph) fieldSlot(fld *types.Var) *flowSlot {
+	pkgPath := ""
+	if fld.Pkg() != nil {
+		pkgPath = fld.Pkg().Path()
+	}
+	sig, ok := fld.Type().Underlying().(*types.Signature)
+	if !ok {
+		return nil
+	}
+	id := pkgPath + ".?" + fld.Name() + "|" + sigKey(sig)
+	if s, ok := fg.fields[id]; ok {
+		return s
+	}
+	s := fg.newSlot()
+	fg.fields[id] = s
+	return s
+}
+
+func (fg *flowGraph) returnSlot(funcKey string, i int) *flowSlot {
+	id := funcKey + "#" + strconv.Itoa(i)
+	if s, ok := fg.returns[id]; ok {
+		return s
+	}
+	s := fg.newSlot()
+	fg.returns[id] = s
+	return s
+}
+
+// bind records that the values of expr flow into dst.
+func (fg *flowGraph) bind(pkg *Package, dst *flowSlot, expr ast.Expr) {
+	if dst == nil {
+		return
+	}
+	keys, slots, top := fg.eval(pkg, expr)
+	if top {
+		dst.top = true
+	}
+	for _, k := range keys {
+		dst.add(k)
+	}
+	for _, s := range slots {
+		s.out = append(s.out, dst)
+	}
+}
+
+// eval resolves an expression to the function values it may hold: concrete
+// node keys, slots whose contents flow in, or ⊤ when the model cannot see
+// the producer.
+func (fg *flowGraph) eval(pkg *Package, expr ast.Expr) (keys []string, slots []*flowSlot, top bool) {
+	info := pkg.Info
+	e := unparen(expr)
+	if tv, ok := info.Types[e]; ok && !funcish(tv.Type) && !tv.IsType() {
+		return nil, nil, false // not a function value; nothing to track
+	}
+	switch x := e.(type) {
+	case *ast.FuncLit:
+		if n := fg.b.prog.byDecl[x]; n != nil {
+			return []string{n.Key}, nil, false
+		}
+		return nil, nil, true
+	case *ast.Ident:
+		switch obj := info.Uses[x].(type) {
+		case *types.Func:
+			return []string{funcKey(obj)}, nil, false
+		case *types.Var:
+			return nil, []*flowSlot{fg.varSlot(obj)}, false
+		case *types.Nil:
+			return nil, nil, false
+		}
+		return nil, nil, true
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[x]; ok {
+			switch sel.Kind() {
+			case types.MethodVal, types.MethodExpr:
+				fn, ok := sel.Obj().(*types.Func)
+				if !ok {
+					return nil, nil, true
+				}
+				if types.IsInterface(sel.Recv()) {
+					// Method value on an interface: the CHA candidate set.
+					if sig, ok := fn.Type().(*types.Signature); ok {
+						return fg.b.methods[fn.Name()+"|"+sigKey(sig)], nil, false
+					}
+					return nil, nil, true
+				}
+				return []string{funcKey(fn)}, nil, false
+			case types.FieldVal:
+				if fld, ok := sel.Obj().(*types.Var); ok {
+					if s := fg.fieldSlot(fld); s != nil {
+						return nil, []*flowSlot{s}, false
+					}
+				}
+				return nil, nil, true
+			}
+			return nil, nil, true
+		}
+		// Package-qualified reference.
+		switch obj := info.Uses[x.Sel].(type) {
+		case *types.Func:
+			return []string{funcKey(obj)}, nil, false
+		case *types.Var:
+			return nil, []*flowSlot{fg.varSlot(obj)}, false
+		}
+		return nil, nil, true
+	case *ast.CallExpr:
+		fun := unparen(x.Fun)
+		if tv, ok := info.Types[fun]; ok && tv.IsType() {
+			// Conversion (e.g. a named function type wrapping a closure):
+			// transparent to flow.
+			if len(x.Args) == 1 {
+				return fg.eval(pkg, x.Args[0])
+			}
+			return nil, nil, true
+		}
+		// A call producing a function: track through the return slot of a
+		// statically-known, loaded callee; anything else is ⊤.
+		if key := staticCalleeKey(info, x); key != "" {
+			if _, loaded := fg.b.prog.Nodes[key]; loaded {
+				return nil, []*flowSlot{fg.returnSlot(key, 0)}, false
+			}
+		}
+		return nil, nil, true
+	}
+	return nil, nil, true
+}
+
+// staticCalleeKey returns the funcKey of a call's statically-resolvable
+// callee ("" for dynamic, builtin and interface calls).
+func staticCalleeKey(info *types.Info, call *ast.CallExpr) string {
+	switch f := unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[f].(*types.Func); ok {
+			return funcKey(fn)
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[f]; ok {
+			if sel.Kind() == types.MethodVal || sel.Kind() == types.MethodExpr {
+				if fn, ok := sel.Obj().(*types.Func); ok && !types.IsInterface(sel.Recv()) {
+					return funcKey(fn)
+				}
+			}
+			return ""
+		}
+		if fn, ok := info.Uses[f.Sel].(*types.Func); ok {
+			return funcKey(fn)
+		}
+	case *ast.FuncLit:
+		// handled by callers that need the literal's node
+	}
+	return ""
+}
+
+// paramObjects returns the declared parameter objects of a loaded node's
+// FuncDecl or FuncLit, flattened in order (nil entries for unnamed params).
+func paramObjects(n *FuncNode) []*types.Var {
+	var ft *ast.FuncType
+	switch d := n.Decl.(type) {
+	case *ast.FuncDecl:
+		ft = d.Type
+	case *ast.FuncLit:
+		ft = d.Type
+	default:
+		return nil
+	}
+	if ft.Params == nil {
+		return nil
+	}
+	var out []*types.Var
+	for _, field := range ft.Params.List {
+		if len(field.Names) == 0 {
+			out = append(out, nil)
+			continue
+		}
+		for _, name := range field.Names {
+			obj, _ := n.Pkg.Info.Defs[name].(*types.Var)
+			out = append(out, obj)
+		}
+	}
+	return out
+}
+
+// buildFlow collects flow facts from every loaded node and package-level
+// declaration, then propagates to a fixpoint.
+func (b *progBuilder) buildFlow() *flowGraph {
+	fg := newFlowGraph(b)
+	for _, n := range b.order {
+		fg.collectNode(n)
+	}
+	for _, pkg := range b.prog.Pkgs {
+		fg.collectPackageVars(pkg)
+	}
+	fg.seedTop()
+	fg.propagate()
+	return fg
+}
+
+// collectNode walks one node's own statements for assignments, call-argument
+// bindings, composite-literal field bindings and returns.
+func (fg *flowGraph) collectNode(n *FuncNode) {
+	if n.Body == nil {
+		return
+	}
+	pkg := n.Pkg
+	info := pkg.Info
+	// Named results: a naked return ships the result vars.
+	if retObjs := fg.namedResults(n); retObjs != nil {
+		for i, obj := range retObjs {
+			if obj != nil && funcish(obj.Type()) {
+				fg.varSlot(obj).out = append(fg.varSlot(obj).out, fg.returnSlot(n.Key, i))
+			}
+		}
+	}
+	n.InspectOwn(func(x ast.Node) bool {
+		switch s := x.(type) {
+		case *ast.AssignStmt:
+			fg.collectAssign(pkg, s.Lhs, s.Rhs)
+		case *ast.ValueSpec:
+			var lhs []ast.Expr
+			for _, name := range s.Names {
+				lhs = append(lhs, name)
+			}
+			fg.collectAssign(pkg, lhs, s.Values)
+		case *ast.RangeStmt:
+			for _, v := range []ast.Expr{s.Key, s.Value} {
+				if id, ok := v.(*ast.Ident); ok && id.Name != "_" {
+					if obj, ok := info.Defs[id].(*types.Var); ok && funcish(obj.Type()) {
+						fg.varSlot(obj).top = true
+					}
+					if obj, ok := info.Uses[id].(*types.Var); ok && funcish(obj.Type()) {
+						fg.varSlot(obj).top = true
+					}
+				}
+			}
+		case *ast.CallExpr:
+			fg.collectCallArgs(pkg, s)
+		case *ast.CompositeLit:
+			fg.collectCompositeLit(pkg, s)
+		}
+		return true
+	})
+	// Returns bind to this node's return slots.
+	n.InspectOwn(func(x ast.Node) bool {
+		ret, ok := x.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		for i, v := range ret.Results {
+			if tv, ok := info.Types[v]; ok && funcish(tv.Type) {
+				fg.bind(pkg, fg.returnSlot(n.Key, i), v)
+			}
+		}
+		return true
+	})
+}
+
+func (fg *flowGraph) namedResults(n *FuncNode) []*types.Var {
+	var ft *ast.FuncType
+	switch d := n.Decl.(type) {
+	case *ast.FuncDecl:
+		ft = d.Type
+	case *ast.FuncLit:
+		ft = d.Type
+	default:
+		return nil
+	}
+	if ft.Results == nil {
+		return nil
+	}
+	var out []*types.Var
+	named := false
+	for _, field := range ft.Results.List {
+		if len(field.Names) == 0 {
+			out = append(out, nil)
+			continue
+		}
+		for _, name := range field.Names {
+			obj, _ := n.Pkg.Info.Defs[name].(*types.Var)
+			out = append(out, obj)
+			named = named || obj != nil
+		}
+	}
+	if !named {
+		return nil
+	}
+	return out
+}
+
+func (fg *flowGraph) collectAssign(pkg *Package, lhs, rhs []ast.Expr) {
+	info := pkg.Info
+	dst := func(l ast.Expr) *flowSlot {
+		switch t := unparen(l).(type) {
+		case *ast.Ident:
+			obj, _ := info.Defs[t].(*types.Var)
+			if obj == nil {
+				obj, _ = info.Uses[t].(*types.Var)
+			}
+			if obj != nil && funcish(obj.Type()) {
+				return fg.varSlot(obj)
+			}
+		case *ast.SelectorExpr:
+			if sel, ok := info.Selections[t]; ok && sel.Kind() == types.FieldVal {
+				if fld, ok := sel.Obj().(*types.Var); ok {
+					return fg.fieldSlot(fld)
+				}
+			} else if obj, ok := info.Uses[t.Sel].(*types.Var); ok && funcish(obj.Type()) {
+				return fg.varSlot(obj)
+			}
+		}
+		return nil
+	}
+	if len(rhs) == 1 && len(lhs) > 1 {
+		// Multi-value: a call or type assertion. Track loaded static calls'
+		// return slots; everything else is ⊤ for func-typed targets.
+		if call, ok := unparen(rhs[0]).(*ast.CallExpr); ok {
+			if key := staticCalleeKey(info, call); key != "" {
+				if _, loaded := fg.b.prog.Nodes[key]; loaded {
+					for i, l := range lhs {
+						if s := dst(l); s != nil {
+							fg.returnSlot(key, i).out = append(fg.returnSlot(key, i).out, s)
+						}
+					}
+					return
+				}
+			}
+		}
+		for _, l := range lhs {
+			if s := dst(l); s != nil {
+				s.top = true
+			}
+		}
+		return
+	}
+	for i := range lhs {
+		if i >= len(rhs) {
+			break
+		}
+		if s := dst(lhs[i]); s != nil {
+			fg.bind(pkg, s, rhs[i])
+		}
+	}
+}
+
+// collectCallArgs binds function-valued arguments into the parameter slots
+// of every loaded candidate callee (static target, or the CHA set for
+// interface calls).
+func (fg *flowGraph) collectCallArgs(pkg *Package, call *ast.CallExpr) {
+	info := pkg.Info
+	fun := unparen(call.Fun)
+	if tv, ok := info.Types[fun]; ok && tv.IsType() {
+		return
+	}
+	var candidates []string
+	if lit, ok := fun.(*ast.FuncLit); ok {
+		if n := fg.b.prog.byDecl[lit]; n != nil {
+			candidates = []string{n.Key}
+		}
+	} else if key := staticCalleeKey(info, call); key != "" {
+		candidates = []string{key}
+	} else if sel, ok := fun.(*ast.SelectorExpr); ok {
+		if s, ok := info.Selections[sel]; ok && (s.Kind() == types.MethodVal || s.Kind() == types.MethodExpr) {
+			if fn, ok := s.Obj().(*types.Func); ok && types.IsInterface(s.Recv()) {
+				if sig, ok := fn.Type().(*types.Signature); ok {
+					candidates = fg.b.methods[fn.Name()+"|"+sigKey(sig)]
+				}
+			}
+		}
+	}
+	// Check quickly whether any argument is worth binding.
+	any := false
+	for _, a := range call.Args {
+		if tv, ok := info.Types[a]; ok && funcish(tv.Type) {
+			any = true
+			break
+		}
+	}
+	if !any {
+		return
+	}
+	for _, key := range candidates {
+		callee, loaded := fg.b.prog.Nodes[key]
+		if !loaded {
+			continue
+		}
+		params := paramObjects(callee)
+		if params == nil {
+			continue
+		}
+		for i, a := range call.Args {
+			j := i
+			if j >= len(params) {
+				j = len(params) - 1 // variadic tail
+			}
+			obj := params[j]
+			if obj == nil || !funcish(obj.Type()) {
+				continue
+			}
+			fg.bind(pkg, fg.varSlot(obj), a)
+		}
+	}
+}
+
+func (fg *flowGraph) collectCompositeLit(pkg *Package, lit *ast.CompositeLit) {
+	info := pkg.Info
+	tv, ok := info.Types[ast.Expr(lit)]
+	if !ok || tv.Type == nil {
+		return
+	}
+	st, ok := tv.Type.Underlying().(*types.Struct)
+	if !ok {
+		return
+	}
+	for i, elt := range lit.Elts {
+		var fld *types.Var
+		var val ast.Expr
+		if kv, ok := elt.(*ast.KeyValueExpr); ok {
+			key, ok := kv.Key.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			for j := 0; j < st.NumFields(); j++ {
+				if st.Field(j).Name() == key.Name {
+					fld = st.Field(j)
+					break
+				}
+			}
+			val = kv.Value
+		} else if i < st.NumFields() {
+			fld = st.Field(i)
+			val = elt
+		}
+		if fld == nil || !funcish(fld.Type()) {
+			continue
+		}
+		fg.bind(pkg, fg.fieldSlot(fld), val)
+	}
+}
+
+// collectPackageVars binds package-level var initializers, including struct
+// fields and call arguments nested inside the initializer expressions
+// (function-literal bodies are separate nodes and collect themselves).
+func (fg *flowGraph) collectPackageVars(pkg *Package) {
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok || len(vs.Values) == 0 {
+					continue
+				}
+				var lhs []ast.Expr
+				for _, name := range vs.Names {
+					lhs = append(lhs, name)
+				}
+				fg.collectAssign(pkg, lhs, vs.Values)
+				for _, v := range vs.Values {
+					ast.Inspect(v, func(x ast.Node) bool {
+						switch e := x.(type) {
+						case *ast.FuncLit:
+							return false
+						case *ast.CallExpr:
+							fg.collectCallArgs(pkg, e)
+						case *ast.CompositeLit:
+							fg.collectCompositeLit(pkg, e)
+						}
+						return true
+					})
+				}
+			}
+		}
+	}
+}
+
+// seedTop marks the parameters the model cannot account for: receivers, the
+// parameters of exported functions and methods (tests and embedders call
+// them with arbitrary values; test files are not loaded), and of every
+// address-taken function (callable from anywhere a matching value flows).
+func (fg *flowGraph) seedTop() {
+	taken := map[string]bool{}
+	for _, keys := range fg.b.addrTaken {
+		for _, k := range keys {
+			taken[k] = true
+		}
+	}
+	for _, n := range fg.b.order {
+		fd, isDecl := n.Decl.(*ast.FuncDecl)
+		exported := isDecl && fd.Name.IsExported()
+		if isDecl && fd.Recv != nil {
+			for _, field := range fd.Recv.List {
+				for _, name := range field.Names {
+					if obj, ok := n.Pkg.Info.Defs[name].(*types.Var); ok && funcish(obj.Type()) {
+						fg.varSlot(obj).top = true
+					}
+				}
+			}
+		}
+		if !exported && !taken[n.Key] {
+			continue
+		}
+		for _, obj := range paramObjects(n) {
+			if obj != nil && funcish(obj.Type()) {
+				fg.varSlot(obj).top = true
+			}
+		}
+	}
+}
+
+// propagate runs the monotone worklist to a fixpoint.
+func (fg *flowGraph) propagate() {
+	for changed := true; changed; {
+		changed = false
+		for _, s := range fg.allSlots {
+			for _, dst := range s.out {
+				if s.top && !dst.top {
+					dst.top = true
+					changed = true
+				}
+				for k := range s.keys {
+					if dst.add(k) {
+						changed = true
+					}
+				}
+			}
+		}
+	}
+}
+
+// callSlot locates the slot a dynamic call expression reads from, or nil
+// when the expression has no modeled slot.
+func (fg *flowGraph) callSlot(pkg *Package, fun ast.Expr) *flowSlot {
+	info := pkg.Info
+	switch f := unparen(fun).(type) {
+	case *ast.Ident:
+		if obj, ok := info.Uses[f].(*types.Var); ok && funcish(obj.Type()) {
+			return fg.varSlot(obj)
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[f]; ok {
+			if sel.Kind() == types.FieldVal {
+				if fld, ok := sel.Obj().(*types.Var); ok {
+					return fg.fieldSlot(fld)
+				}
+			}
+			return nil
+		}
+		if obj, ok := info.Uses[f.Sel].(*types.Var); ok && funcish(obj.Type()) {
+			return fg.varSlot(obj)
+		}
+	case *ast.CallExpr:
+		if key := staticCalleeKey(info, f); key != "" {
+			if _, loaded := fg.b.prog.Nodes[key]; loaded {
+				return fg.returnSlot(key, 0)
+			}
+		}
+	}
+	return nil
+}

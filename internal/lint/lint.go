@@ -31,6 +31,10 @@ type Analyzer struct {
 type Pass struct {
 	Analyzer *Analyzer
 	Pkg      *Package
+	// Prog is the whole-load call graph shared by every pass of one Run; the
+	// interprocedural analyzers (hotpathalloc, ctxflow, lockorder) query and
+	// memoize against it.
+	Prog *Program
 
 	diags *[]Diagnostic
 }
@@ -65,16 +69,22 @@ func Suite() []*Analyzer {
 		RegistryAnalyzer,
 		ErrwrapAnalyzer,
 		ConcurrencyAnalyzer,
+		HotPathAllocAnalyzer,
+		CtxFlowAnalyzer,
+		LockOrderAnalyzer,
+		APISurfaceAnalyzer,
 	}
 }
 
 // Run applies the analyzers to the packages and returns every diagnostic,
-// sorted by position then analyzer so output is deterministic.
+// sorted by position then analyzer so output is deterministic. The call
+// graph over all packages is built once and shared across every pass.
 func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	prog := BuildProgram(pkgs)
 	var diags []Diagnostic
 	for _, pkg := range pkgs {
 		for _, a := range analyzers {
-			pass := &Pass{Analyzer: a, Pkg: pkg, diags: &diags}
+			pass := &Pass{Analyzer: a, Pkg: pkg, Prog: prog, diags: &diags}
 			if err := a.Run(pass); err != nil {
 				return nil, fmt.Errorf("lint: %s on %s: %w", a.Name, pkg.Path, err)
 			}
@@ -99,19 +109,42 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 	return diags, nil
 }
 
-// NondeterministicDirective is the comment that opts one line out of the
-// determinism analyzer — the escape hatch for code that is nondeterministic
-// on purpose, like opt-in wall-time tracking.
-const NondeterministicDirective = "//goldfish:nondeterministic"
+// The //goldfish: directives. Each analyzer's escape hatch is a distinct
+// directive so one suppression can never silently widen to another rule.
+const (
+	// NondeterministicDirective opts one line out of the determinism
+	// analyzer — for code that is nondeterministic on purpose, like opt-in
+	// wall-time tracking.
+	NondeterministicDirective = "//goldfish:nondeterministic"
+	// HotPathDirective marks a function declaration (or function literal) as
+	// a hot-path root: the call-graph layer treats everything reachable from
+	// it as allocation-sensitive.
+	HotPathDirective = "//goldfish:hotpath"
+	// ColdPathDirective cuts a function out of hot-path reachability: setup,
+	// constructors and per-cell plumbing that hot roots call once.
+	ColdPathDirective = "//goldfish:coldpath"
+	// AllocOKDirective opts one line out of hotpathalloc — for deliberate
+	// allocations on a hot path (grow-once scratch, documented defensive
+	// copies).
+	AllocOKDirective = "//goldfish:allocok"
+	// CtxOKDirective opts one line out of ctxflow — for deliberate context
+	// detachment (fire-and-forget cleanup, background reaping).
+	CtxOKDirective = "//goldfish:ctxok"
+	// LockOKDirective opts one acquisition line out of lockorder.
+	LockOKDirective = "//goldfish:lockok"
+	// APIOKDirective on the package clause line opts a package out of the
+	// apisurface golden comparison — a mid-refactor escape only.
+	APIOKDirective = "//goldfish:apiok"
+)
 
-// suppressedLines returns the set of lines a //goldfish:nondeterministic
-// directive covers in file: the directive's own line (trailing comment) and,
-// for a directive standing alone on its line, the line below it.
-func suppressedLines(fset *token.FileSet, file *ast.File) map[int]bool {
+// directiveLines returns the set of lines the given //goldfish: directive
+// covers in file: the directive's own line (trailing comment) and, for a
+// directive standing alone on its line, the line below it.
+func directiveLines(fset *token.FileSet, file *ast.File, directive string) map[int]bool {
 	lines := map[int]bool{}
 	for _, cg := range file.Comments {
 		for _, c := range cg.List {
-			if !strings.HasPrefix(c.Text, NondeterministicDirective) {
+			if !matchesDirective(c.Text, directive) {
 				continue
 			}
 			line := fset.Position(c.Pos()).Line
@@ -120,4 +153,20 @@ func suppressedLines(fset *token.FileSet, file *ast.File) map[int]bool {
 		}
 	}
 	return lines
+}
+
+// matchesDirective reports whether comment text carries the directive,
+// requiring a word boundary so //goldfish:hotpath never matches a
+// hypothetical //goldfish:hotpathx.
+func matchesDirective(text, directive string) bool {
+	if !strings.HasPrefix(text, directive) {
+		return false
+	}
+	rest := text[len(directive):]
+	return rest == "" || rest[0] == ' ' || rest[0] == '\t'
+}
+
+// suppressedLines is directiveLines for the determinism escape hatch.
+func suppressedLines(fset *token.FileSet, file *ast.File) map[int]bool {
+	return directiveLines(fset, file, NondeterministicDirective)
 }

@@ -1,0 +1,436 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// LockOrderAnalyzer rejects cycles in the whole-program mutex acquisition
+// graph.
+var LockOrderAnalyzer = &Analyzer{
+	Name: "lockorder",
+	Doc: `reject cycles in the call-graph-derived mutex acquisition order
+
+Two goroutines that acquire the same two mutexes in opposite orders deadlock
+under load — exactly the failure mode a scenario fleet over real transports
+will hit first. This analyzer generalizes the single-function concurrency
+checks interprocedurally: it identifies every named mutex (a field on a named
+struct type, or a package-level var; locals are per-invocation and skipped),
+computes which mutexes each function transitively acquires via the call
+graph, records an edge A -> B whenever B is acquired while A is held, and
+reports every acquisition edge that participates in a cycle — including
+self-cycles, which are immediate self-deadlocks. Deferred unlocks hold to
+function end, matching the runtime. //goldfish:lockok on an acquisition line
+removes that edge (the reviewer vouches for the order).`,
+	Run: runLockOrder,
+}
+
+// lockEdge is one "to acquired while from held" observation.
+type lockEdge struct {
+	from, to string
+	pkgPath  string
+	pos      token.Position
+	// desc names the function the acquisition happens in.
+	desc string
+}
+
+type lockGraph struct {
+	edges []lockEdge
+	// cyclic marks the mutex IDs that sit in a cycle (an SCC with more than
+	// one member, or a self-loop).
+	cyclic map[string]bool
+}
+
+func runLockOrder(pass *Pass) error {
+	g := pass.Prog.Memo("lockorder.graph", func() any {
+		return buildLockGraph(pass.Prog)
+	}).(*lockGraph)
+	for _, e := range g.edges {
+		if e.pkgPath != pass.Pkg.Path {
+			continue
+		}
+		if g.cyclic[e.from] && g.cyclic[e.to] && inSameCycle(g, e.from, e.to) {
+			pass.Reportf(posOfPosition(pass, e.pos), "acquiring %s while holding %s (in %s) participates in a lock-order cycle; acquire in one global order or annotate %s",
+				e.to, e.from, e.desc, LockOKDirective)
+		}
+	}
+	return nil
+}
+
+// posOfPosition maps a token.Position recorded during graph construction
+// back to a token.Pos in the pass's fileset for reporting.
+func posOfPosition(pass *Pass, p token.Position) token.Pos {
+	var pos token.Pos
+	for _, file := range pass.Pkg.Files {
+		f := pass.Pkg.Fset.File(file.Pos())
+		if f == nil || f.Name() != p.Filename {
+			continue
+		}
+		if p.Line <= f.LineCount() {
+			pos = f.LineStart(p.Line) + token.Pos(p.Column-1)
+		}
+		break
+	}
+	return pos
+}
+
+// buildLockGraph scans every node for mutex operations, propagates
+// transitive acquisition sets to a fixpoint over the call graph, and runs
+// cycle detection.
+func buildLockGraph(prog *Program) *lockGraph {
+	keys := prog.Keys()
+	events := map[string][]lockEvent{}
+	direct := map[string]map[string]bool{}
+	for _, k := range keys {
+		evs := scanLockEvents(prog.Nodes[k])
+		if len(evs) > 0 {
+			events[k] = evs
+		}
+		d := map[string]bool{}
+		for _, ev := range evs {
+			if ev.op == opLock || ev.op == opRLock {
+				d[ev.mutex] = true
+			}
+		}
+		if len(d) > 0 {
+			direct[k] = d
+		}
+	}
+	// Fixpoint: acquires(F) = direct(F) ∪ ⋃ acquires(callees).
+	acquires := map[string]map[string]bool{}
+	for _, k := range keys {
+		acquires[k] = map[string]bool{}
+		for m := range direct[k] {
+			acquires[k][m] = true
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, k := range keys {
+			for _, callee := range prog.Nodes[k].Calls {
+				for m := range acquires[callee] {
+					if !acquires[k][m] {
+						acquires[k][m] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	// Walk each function's event sequence linearly, collecting edges.
+	g := &lockGraph{}
+	seen := map[string]bool{}
+	for _, k := range keys {
+		node := prog.Nodes[k]
+		var held []string
+		for _, ev := range events[k] {
+			switch ev.op {
+			case opLock, opRLock:
+				if !ev.suppressed {
+					for _, h := range held {
+						addEdge(g, seen, h, ev.mutex, node, ev.pos)
+					}
+				}
+				held = append(held, ev.mutex)
+			case opUnlock, opRUnlock:
+				if ev.deferred {
+					continue // held to function end
+				}
+				for i := len(held) - 1; i >= 0; i-- {
+					if held[i] == ev.mutex {
+						held = append(held[:i], held[i+1:]...)
+						break
+					}
+				}
+			case opCall:
+				if ev.suppressed || len(held) == 0 {
+					continue
+				}
+				for _, callee := range ev.callees {
+					for m := range acquires[callee] {
+						for _, h := range held {
+							addEdge(g, seen, h, m, node, ev.pos)
+						}
+					}
+				}
+			}
+		}
+	}
+	g.cyclic = cyclicMutexes(g)
+	return g
+}
+
+func addEdge(g *lockGraph, seen map[string]bool, from, to string, node *FuncNode, pos token.Pos) {
+	p := node.Pkg.Fset.Position(pos)
+	id := from + "->" + to + "@" + node.Pkg.Path
+	if seen[id] {
+		return
+	}
+	seen[id] = true
+	g.edges = append(g.edges, lockEdge{from: from, to: to, pkgPath: node.Pkg.Path, pos: p, desc: node.Key})
+}
+
+// cyclicMutexes returns the mutexes inside a strongly connected component of
+// size > 1 or carrying a self-loop.
+func cyclicMutexes(g *lockGraph) map[string]bool {
+	adj := map[string][]string{}
+	nodes := map[string]bool{}
+	for _, e := range g.edges {
+		adj[e.from] = append(adj[e.from], e.to)
+		nodes[e.from], nodes[e.to] = true, true
+	}
+	var order []string
+	for n := range nodes {
+		order = append(order, n)
+	}
+	sort.Strings(order)
+	// Tarjan SCC, iterative enough for our graph sizes via recursion.
+	index := map[string]int{}
+	low := map[string]int{}
+	onStack := map[string]bool{}
+	var stack []string
+	next := 0
+	cyclic := map[string]bool{}
+	var strongconnect func(v string)
+	strongconnect = func(v string) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, w := range adj[v] {
+			if _, seen := index[w]; !seen {
+				strongconnect(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			var comp []string
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				comp = append(comp, w)
+				if w == v {
+					break
+				}
+			}
+			if len(comp) > 1 {
+				for _, w := range comp {
+					cyclic[w] = true
+				}
+			} else {
+				// Self-loop?
+				for _, w := range adj[comp[0]] {
+					if w == comp[0] {
+						cyclic[comp[0]] = true
+					}
+				}
+			}
+		}
+	}
+	for _, n := range order {
+		if _, seen := index[n]; !seen {
+			strongconnect(n)
+		}
+	}
+	return cyclic
+}
+
+// inSameCycle reports whether from and to belong to one SCC (or form a
+// self-loop), so edges between two distinct cycles are not over-reported.
+func inSameCycle(g *lockGraph, from, to string) bool {
+	if from == to {
+		return true
+	}
+	// Both cyclic: check to ~> from reachability (from -> to exists as edge).
+	adj := map[string][]string{}
+	for _, e := range g.edges {
+		adj[e.from] = append(adj[e.from], e.to)
+	}
+	seen := map[string]bool{to: true}
+	queue := []string{to}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		if v == from {
+			return true
+		}
+		for _, w := range adj[v] {
+			if !seen[w] {
+				seen[w] = true
+				queue = append(queue, w)
+			}
+		}
+	}
+	return false
+}
+
+type lockOp int
+
+const (
+	opLock lockOp = iota
+	opRLock
+	opUnlock
+	opRUnlock
+	opCall
+)
+
+type lockEvent struct {
+	op         lockOp
+	mutex      string // for lock/unlock ops
+	callees    []string
+	pos        token.Pos
+	deferred   bool
+	suppressed bool
+}
+
+// scanLockEvents linearizes one node's mutex operations and calls in source
+// order. Only named mutexes — fields on named types and package-level vars —
+// participate; locals are invisible to other goroutines' lock orders.
+func scanLockEvents(node *FuncNode) []lockEvent {
+	if node.Body == nil {
+		return nil
+	}
+	info := node.Pkg.Info
+	var file *ast.File
+	for _, f := range node.Pkg.Files {
+		if f.Pos() <= node.Body.Pos() && node.Body.End() <= f.End() {
+			file = f
+			break
+		}
+	}
+	var lockOK map[int]bool
+	if file != nil {
+		lockOK = directiveLines(node.Pkg.Fset, file, LockOKDirective)
+	}
+	deferred := map[*ast.CallExpr]bool{}
+	var events []lockEvent
+	node.InspectOwn(func(n ast.Node) bool {
+		if d, ok := n.(*ast.DeferStmt); ok {
+			deferred[d.Call] = true
+			return true
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		suppressed := lockOK != nil && lockOK[node.Pkg.Fset.Position(call.Pos()).Line]
+		if sel, ok := unparen(call.Fun).(*ast.SelectorExpr); ok {
+			if op, isLockOp := mutexOp(info, sel); isLockOp {
+				if id := mutexID(info, sel.X); id != "" {
+					events = append(events, lockEvent{
+						op: op, mutex: id, pos: call.Pos(),
+						deferred: deferred[call], suppressed: suppressed,
+					})
+				}
+				return true
+			}
+		}
+		// A plain call: its transitive acquisitions happen here.
+		if callees := resolveEventCallees(node, call); len(callees) > 0 {
+			events = append(events, lockEvent{op: opCall, callees: callees, pos: call.Pos(), suppressed: suppressed})
+		}
+		return true
+	})
+	return events
+}
+
+// resolveEventCallees names the call expression's plausible targets: static
+// calls resolve exactly; dynamic and interface calls conservatively fall
+// back to the node's full resolved callee list.
+func resolveEventCallees(node *FuncNode, call *ast.CallExpr) []string {
+	info := node.Pkg.Info
+	fun := unparen(call.Fun)
+	if tv, ok := info.Types[fun]; ok && tv.IsType() {
+		return nil
+	}
+	switch f := fun.(type) {
+	case *ast.Ident:
+		if obj, ok := info.Uses[f].(*types.Func); ok {
+			return []string{funcKey(obj)}
+		}
+		if _, ok := info.Uses[f].(*types.Builtin); ok {
+			return nil
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[f]; ok {
+			if sel.Kind() == types.MethodVal || sel.Kind() == types.MethodExpr {
+				if fn, ok := sel.Obj().(*types.Func); ok && !types.IsInterface(sel.Recv()) {
+					return []string{funcKey(fn)}
+				}
+			}
+		} else if fn, ok := info.Uses[f.Sel].(*types.Func); ok {
+			return []string{funcKey(fn)}
+		}
+	}
+	// Dynamic or interface call: conservatively, every callee of the node.
+	return node.Calls
+}
+
+// mutexOp classifies a selector as a sync.Mutex/RWMutex (un)lock operation.
+func mutexOp(info *types.Info, sel *ast.SelectorExpr) (lockOp, bool) {
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return 0, false
+	}
+	switch fn.Name() {
+	case "Lock":
+		return opLock, true
+	case "RLock":
+		return opRLock, true
+	case "Unlock":
+		return opUnlock, true
+	case "RUnlock":
+		return opRUnlock, true
+	}
+	return 0, false
+}
+
+// mutexID names the mutex a lock operation's receiver denotes: "(pkg.Type).field"
+// for a field on a named type, "pkg.var" for a package-level var, "" for
+// locals and unrecognized shapes.
+func mutexID(info *types.Info, x ast.Expr) string {
+	switch e := unparen(x).(type) {
+	case *ast.Ident:
+		obj, ok := info.Uses[e].(*types.Var)
+		if !ok || obj.Pkg() == nil {
+			return ""
+		}
+		// Package-level var?
+		if obj.Parent() == obj.Pkg().Scope() {
+			return obj.Pkg().Path() + "." + obj.Name()
+		}
+		return ""
+	case *ast.SelectorExpr:
+		sel, ok := info.Selections[e]
+		if !ok || sel.Kind() != types.FieldVal {
+			// Package-qualified var: pkg.mu.Lock().
+			if obj, ok := info.Uses[e.Sel].(*types.Var); ok && obj.Pkg() != nil && obj.Parent() == obj.Pkg().Scope() {
+				return obj.Pkg().Path() + "." + obj.Name()
+			}
+			return ""
+		}
+		recv := sel.Recv()
+		for {
+			if p, ok := recv.(*types.Pointer); ok {
+				recv = p.Elem()
+				continue
+			}
+			break
+		}
+		named, ok := recv.(*types.Named)
+		if !ok || named.Obj().Pkg() == nil {
+			return ""
+		}
+		return fmt.Sprintf("(%s.%s).%s", named.Obj().Pkg().Path(), named.Obj().Name(), sel.Obj().Name())
+	}
+	return ""
+}

@@ -13,7 +13,10 @@ import (
 // must be a conscious act (docs, CI and the -lint-rules output all key on
 // these names).
 func TestSuiteNames(t *testing.T) {
-	want := []string{"determinism", "registry", "errwrap", "concurrency"}
+	want := []string{
+		"determinism", "registry", "errwrap", "concurrency",
+		"hotpathalloc", "ctxflow", "lockorder", "apisurface",
+	}
 	suite := lint.Suite()
 	if len(suite) != len(want) {
 		t.Fatalf("Suite() has %d analyzers, want %d", len(suite), len(want))

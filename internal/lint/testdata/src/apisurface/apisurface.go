@@ -1,0 +1,18 @@
+// Package goldfish (apisurface fixture, loaded under import path "goldfish"):
+// the exported surface matches the committed golden in api/goldfish.txt next
+// to this file, so the analyzer stays silent.
+package goldfish
+
+// MaxRounds bounds a run.
+const MaxRounds = 3
+
+// Config configures a run.
+type Config struct {
+	// Rounds is the round budget.
+	Rounds int
+
+	name string
+}
+
+// Run executes a run.
+func Run(c Config) error { return nil }

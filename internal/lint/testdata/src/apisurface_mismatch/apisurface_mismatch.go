@@ -1,0 +1,7 @@
+// Package goldfish (stale-golden fixture, loaded under import path
+// "goldfish"): the committed golden still lists a Shutdown function, so the
+// analyzer reports the first differing line and the regeneration command.
+package goldfish // want "exported API surface differs from api/goldfish.txt .first difference at line 2"
+
+// Run executes a run.
+func Run() {}

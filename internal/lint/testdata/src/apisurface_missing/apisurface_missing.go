@@ -1,0 +1,7 @@
+// Package goldfish (missing-golden fixture, loaded under import path
+// "goldfish"): there is no api/goldfish.txt beside this file, so the
+// analyzer demands one and names the regeneration command.
+package goldfish // want "exported API surface golden api/goldfish.txt is missing; generate it with"
+
+// Run executes a run.
+func Run() {}

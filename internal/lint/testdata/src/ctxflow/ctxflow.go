@@ -1,0 +1,43 @@
+// Package ctxflow exercises the ctxflow analyzer. It is loaded under an
+// import path inside the sink scope (internal/fed), so its own context-taking
+// functions are transport/engine sinks: replacing an in-scope context with
+// context.Background()/TODO() is flagged (rule one), and accepting a context
+// on a path to a sink without ever using it is flagged (rule two).
+package ctxflow
+
+import "context"
+
+// Send is a context-taking sink that uses its context — silent.
+func Send(ctx context.Context) error { return ctx.Err() }
+
+// Relay threads the caller's context into the sink — silent.
+func Relay(ctx context.Context) error { return Send(ctx) }
+
+// Broadcast accepts a context but never consults it, and manufactures a
+// fresh one on the way to the sink: both rules fire.
+func Broadcast(ctx context.Context, n int) { // want "Broadcast accepts context parameter .ctx. but never uses it"
+	for i := 0; i < n; i++ {
+		_ = Send(context.TODO()) // want "context.TODO replaces the ctx parameter already in scope"
+	}
+}
+
+// Drop uses its context (so rule two is satisfied) but still replaces it at
+// the call site — rule one fires alone.
+func Drop(ctx context.Context) error {
+	_ = ctx.Err()
+	return Send(context.Background()) // want "context.Background replaces the ctx parameter already in scope"
+}
+
+// Cleanup detaches deliberately — fire-and-forget work that must outlive the
+// caller — so both rules are opted out with //goldfish:ctxok.
+//
+//goldfish:ctxok — fire-and-forget cleanup detaches from the round context
+func Cleanup(ctx context.Context) {
+	go func() {
+		_ = Send(context.Background()) //goldfish:ctxok — detached on purpose, see above
+	}()
+}
+
+// Poll's context parameter is unnamed, which already documents "unused";
+// rule two skips it.
+func Poll(_ context.Context) {}

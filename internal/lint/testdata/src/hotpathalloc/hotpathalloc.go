@@ -1,0 +1,55 @@
+// Package hotpathalloc exercises the hotpathalloc analyzer. It is loaded
+// under an import path inside the scoped packages (internal/tensor), so
+// allocations in functions reachable from the //goldfish:hotpath root are
+// flagged, while //goldfish:coldpath cuts the setup subtree out of
+// reachability and //goldfish:allocok vouches for single lines.
+package hotpathalloc
+
+// T is an arbitrary payload type.
+type T struct{ X int }
+
+// NewT is a module-internal constructor. Its own allocation is expected —
+// the coldpath cut keeps its body out of the hot set — and each hot call
+// site is what gets flagged instead.
+//
+//goldfish:coldpath
+func NewT() *T { return &T{} }
+
+// Root is the fixture's hot entry point: every allocation in its body and in
+// the functions it reaches is on the hot path.
+//
+//goldfish:hotpath
+func Root() {
+	buf := make([]byte, 16)          // want "make allocates in a hot path \\(reachable from .*Root\\)"
+	buf = append(buf, 1)             // want "append allocates in a hot path"
+	_ = new(T)                       // want "new allocates in a hot path"
+	_ = &T{X: 1}                     // want "&composite literal allocates in a hot path"
+	_ = []int{1, 2}                  // want "slice literal allocates in a hot path"
+	_ = map[string]int{}             // want "map literal allocates in a hot path"
+	_ = NewT()                       // want "constructor .*NewT allocates in a hot path"
+	lit := func() *T { return &T{} } // want "&composite literal allocates in a hot path"
+	_ = lit()
+	_ = buf
+	_ = grow(nil)
+	setup()
+}
+
+// grow is hot through the Root -> grow edge; its grow-once allocation is the
+// documented allocok escape.
+func grow(s []float64) []float64 {
+	if cap(s) < 8 {
+		s = make([]float64, 8) //goldfish:allocok — grow-once scratch under test
+	}
+	return s
+}
+
+// setup is cut out of reachability: one-time construction is not hot even
+// when a hot function calls it.
+//
+//goldfish:coldpath
+func setup() {
+	_ = make([]int, 1024)
+}
+
+// idle is not reachable from any hot root, so its allocation is fine.
+func idle() []int { return make([]int, 4) }

@@ -1,0 +1,92 @@
+// Package lockorder exercises the lockorder analyzer: opposite acquisition
+// orders of the same two mutexes form a cycle (directly or through the call
+// graph), a consistent global order is silent, re-entering a held mutex is a
+// self-cycle, and //goldfish:lockok removes a vouched-for edge.
+package lockorder
+
+import "sync"
+
+var (
+	muA sync.Mutex
+	muB sync.Mutex
+	muC sync.Mutex
+	muD sync.Mutex
+	muE sync.Mutex
+	muF sync.Mutex
+)
+
+// locksB acquires muB; callers holding another mutex inherit the edge
+// transitively through the call graph.
+func locksB() {
+	muB.Lock()
+	muB.Unlock()
+}
+
+// forward takes muA and then, through locksB, muB.
+func forward() {
+	muA.Lock()
+	locksB() // want "acquiring .*muB while holding .*muA .* participates in a lock-order cycle"
+	muA.Unlock()
+}
+
+// reversed takes muB and then muA — the other half of the cycle.
+func reversed() {
+	muB.Lock()
+	defer muB.Unlock()
+	muA.Lock() // want "acquiring .*muA while holding .*muB .* participates in a lock-order cycle"
+	muA.Unlock()
+}
+
+// consistent1 and consistent2 acquire muC before muD everywhere: an acyclic
+// acquisition graph is the silent, correct shape.
+func consistent1() {
+	muC.Lock()
+	muD.Lock()
+	muD.Unlock()
+	muC.Unlock()
+}
+
+func consistent2() {
+	muC.Lock()
+	defer muC.Unlock()
+	muD.Lock()
+	muD.Unlock()
+}
+
+// Counter re-enters its own field mutex through Total — an immediate
+// self-deadlock, reported as a self-cycle on the named field mutex.
+type Counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Total locks to read the count.
+func (c *Counter) Total() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// Add locks and then calls Total, which locks the same mutex again.
+func (c *Counter) Add(d int) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n += d
+	return c.Total() // want "while holding .*Counter.*mu .* participates in a lock-order cycle"
+}
+
+// vouched1 and vouched2 disagree on order, but the reviewer vouches for both
+// acquisitions, removing the edges from the graph.
+func vouched1() {
+	muE.Lock()
+	muF.Lock() //goldfish:lockok — probe-side pair, never held concurrently (under test)
+	muF.Unlock()
+	muE.Unlock()
+}
+
+func vouched2() {
+	muF.Lock()
+	muE.Lock() //goldfish:lockok — see vouched1
+	muE.Unlock()
+	muF.Unlock()
+}

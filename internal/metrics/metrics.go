@@ -18,31 +18,62 @@ import (
 // defaultEvalBatch bounds memory use during evaluation.
 const defaultEvalBatch = 256
 
-// Probabilities runs the network over the dataset in evaluation mode and
-// returns softmax probabilities of shape (N, classes). batch ≤ 0 selects a
-// default evaluation batch size.
-func Probabilities(net *nn.Network, d *data.Dataset, batch int) *tensor.Tensor {
+// evalScratch is one evaluation's reusable buffers: the batch row indices,
+// the sliced input batch, and the softmax output. Scratch sets are drawn from
+// evalPool because the round engine scores clients concurrently, so multiple
+// evaluations can be streaming at once.
+type evalScratch struct {
+	idx       []int
+	in, probs *tensor.Tensor
+}
+
+var evalPool = sync.Pool{New: func() any { return new(evalScratch) }}
+
+// forEachProbBatch streams the network's evaluation-mode softmax
+// probabilities over d: fn is called once per batch with the batch's starting
+// row and its (rows, classes) probability tensor. The tensor is pooled
+// scratch, overwritten by the next batch — fn must not retain it. Batches are
+// visited in row order with identical arithmetic to a whole-dataset
+// evaluation, so streaming consumers are bit-identical to matrix-assembling
+// ones. batch ≤ 0 selects the default evaluation batch size.
+func forEachProbBatch(net *nn.Network, d *data.Dataset, batch int, fn func(start int, probs *tensor.Tensor)) {
 	if batch <= 0 {
 		batch = defaultEvalBatch
 	}
 	n := d.Len()
-	var out *tensor.Tensor
+	s := evalPool.Get().(*evalScratch)
+	defer evalPool.Put(s)
 	for start := 0; start < n; start += batch {
 		end := start + batch
 		if end > n {
 			end = n
 		}
-		idx := make([]int, end-start)
-		for i := range idx {
-			idx[i] = start + i
+		if cap(s.idx) < end-start {
+			s.idx = make([]int, end-start) //goldfish:allocok — grow-once scratch, pooled across evaluations
 		}
-		logits := net.Forward(tensor.SliceRows(d.X, idx), false)
-		probs := tensor.SoftmaxRows(logits, 1)
+		s.idx = s.idx[:end-start]
+		for i := range s.idx {
+			s.idx[i] = start + i
+		}
+		s.in = tensor.SliceRowsInto(s.in, d.X, s.idx)
+		logits := net.Forward(s.in, false)
+		s.probs = tensor.SoftmaxRowsInto(s.probs, logits, 1)
+		fn(start, s.probs)
+	}
+}
+
+// Probabilities runs the network over the dataset in evaluation mode and
+// returns softmax probabilities of shape (N, classes). batch ≤ 0 selects a
+// default evaluation batch size. Metrics that only need a streaming view
+// should use forEachProbBatch instead of materializing this matrix.
+func Probabilities(net *nn.Network, d *data.Dataset, batch int) *tensor.Tensor {
+	var out *tensor.Tensor
+	forEachProbBatch(net, d, batch, func(start int, probs *tensor.Tensor) {
 		if out == nil {
-			out = tensor.New(n, probs.Dim(1))
+			out = tensor.New(d.Len(), probs.Dim(1)) //goldfish:allocok — full matrix escapes by API contract
 		}
 		copy(out.Data()[start*probs.Dim(1):], probs.Data())
-	}
+	})
 	return out
 }
 
@@ -52,14 +83,24 @@ func Accuracy(net *nn.Network, d *data.Dataset, batch int) float64 {
 	if d.Len() == 0 {
 		return 0
 	}
-	probs := Probabilities(net, d, batch)
-	pred := tensor.ArgMaxRows(probs)
 	correct := 0
-	for i, p := range pred {
-		if p == d.Y[i] {
-			correct++
+	forEachProbBatch(net, d, batch, func(start int, probs *tensor.Tensor) {
+		m, c := probs.Dim(0), probs.Dim(1)
+		pd := probs.Data()
+		for i := 0; i < m; i++ {
+			// Same first-wins tie-break as tensor.ArgMaxRows.
+			row := pd[i*c : (i+1)*c]
+			best := 0
+			for j, v := range row {
+				if v > row[best] {
+					best = j
+				}
+			}
+			if best == d.Y[start+i] {
+				correct++
+			}
 		}
-	}
+	})
 	return float64(correct) / float64(d.Len())
 }
 
@@ -71,14 +112,24 @@ func AttackSuccessRate(net *nn.Network, triggered *data.Dataset, target int, bat
 	if triggered.Len() == 0 {
 		return 0
 	}
-	probs := Probabilities(net, triggered, batch)
-	pred := tensor.ArgMaxRows(probs)
 	hits := 0
-	for _, p := range pred {
-		if p == target {
-			hits++
+	forEachProbBatch(net, triggered, batch, func(start int, probs *tensor.Tensor) {
+		m, c := probs.Dim(0), probs.Dim(1)
+		pd := probs.Data()
+		for i := 0; i < m; i++ {
+			// Same first-wins tie-break as tensor.ArgMaxRows.
+			row := pd[i*c : (i+1)*c]
+			best := 0
+			for j, v := range row {
+				if v > row[best] {
+					best = j
+				}
+			}
+			if best == target {
+				hits++
+			}
 		}
-	}
+	})
 	return float64(hits) / float64(triggered.Len())
 }
 
@@ -111,22 +162,25 @@ func MSE(net *nn.Network, d *data.Dataset, batch int) float64 {
 	if d.Len() == 0 {
 		return 0
 	}
-	probs := Probabilities(net, d, batch)
-	c := probs.Dim(1)
 	var total float64
-	pd := probs.Data()
-	for i := 0; i < d.Len(); i++ {
-		row := pd[i*c : (i+1)*c]
-		for j, p := range row {
-			target := 0.0
-			if j == d.Y[i] {
-				target = 1
+	classes := 0
+	forEachProbBatch(net, d, batch, func(start int, probs *tensor.Tensor) {
+		m, c := probs.Dim(0), probs.Dim(1)
+		classes = c
+		pd := probs.Data()
+		for i := 0; i < m; i++ {
+			row := pd[i*c : (i+1)*c]
+			for j, p := range row {
+				target := 0.0
+				if j == d.Y[start+i] {
+					target = 1
+				}
+				diff := p - target
+				total += diff * diff
 			}
-			diff := p - target
-			total += diff * diff
 		}
-	}
-	return total / float64(d.Len()*c)
+	})
+	return total / float64(d.Len()*classes)
 }
 
 // Divergence holds the model-similarity statistics of Tables VII–IX
@@ -171,19 +225,21 @@ func ModelDivergence(a, b *nn.Network, d *data.Dataset, batch int) (Divergence, 
 // TopConfidences returns each sample's maximum predicted probability — the
 // per-sample statistic the t-test compares.
 func TopConfidences(net *nn.Network, d *data.Dataset, batch int) []float64 {
-	probs := Probabilities(net, d, batch)
-	c := probs.Dim(1)
-	out := make([]float64, d.Len())
-	for i := range out {
-		row := probs.Data()[i*c : (i+1)*c]
-		best := row[0]
-		for _, v := range row[1:] {
-			if v > best {
-				best = v
+	out := make([]float64, d.Len()) //goldfish:allocok — per-sample statistics escape by API contract
+	forEachProbBatch(net, d, batch, func(start int, probs *tensor.Tensor) {
+		m, c := probs.Dim(0), probs.Dim(1)
+		pd := probs.Data()
+		for i := 0; i < m; i++ {
+			row := pd[i*c : (i+1)*c]
+			best := row[0]
+			for _, v := range row[1:] {
+				if v > best {
+					best = v
+				}
 			}
+			out[start+i] = best
 		}
-		out[i] = best
-	}
+	})
 	return out
 }
 
@@ -214,7 +270,27 @@ func MembershipGap(net *nn.Network, target, probe *data.Dataset, batch int) floa
 	if target.Len() == 0 || probe.Len() == 0 {
 		return 0
 	}
-	tc := TopConfidences(net, target, batch)
-	pc := TopConfidences(net, probe, batch)
-	return stats.Mean(tc) - stats.Mean(pc)
+	return meanTopConfidence(net, target, batch) - meanTopConfidence(net, probe, batch)
+}
+
+// meanTopConfidence streams the mean of the per-sample top confidences. The
+// left-to-right accumulation matches stats.Mean over TopConfidences exactly,
+// so the streaming form is bit-identical to the materializing one.
+func meanTopConfidence(net *nn.Network, d *data.Dataset, batch int) float64 {
+	var sum float64
+	forEachProbBatch(net, d, batch, func(start int, probs *tensor.Tensor) {
+		m, c := probs.Dim(0), probs.Dim(1)
+		pd := probs.Data()
+		for i := 0; i < m; i++ {
+			row := pd[i*c : (i+1)*c]
+			best := row[0]
+			for _, v := range row[1:] {
+				if v > best {
+					best = v
+				}
+			}
+			sum += best
+		}
+	})
+	return sum / float64(d.Len())
 }

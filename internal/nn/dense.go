@@ -17,13 +17,15 @@ type Dense struct {
 
 	// Reusable scratch, sized on first use and recycled across batches.
 	// ReleaseActivations drops it so idle models hold no batch-sized state.
-	fwdOut, dw, dx *tensor.Tensor
+	fwdOut, dw, db, dx *tensor.Tensor
 }
 
 var _ Layer = (*Dense)(nil)
 
 // NewDense creates a fully connected layer with He-normal weights and zero
 // bias, drawing initialization randomness from rng.
+//
+//goldfish:coldpath
 func NewDense(in, out int, rng *rand.Rand) *Dense {
 	if in <= 0 || out <= 0 {
 		panic(fmt.Sprintf("nn: Dense dimensions must be positive, got in=%d out=%d", in, out))
@@ -66,20 +68,23 @@ func (d *Dense) Backward(dout *tensor.Tensor) *tensor.Tensor {
 	// dW = doutᵀ · x ; db = column sums of dout ; dx = dout · W
 	d.dw = tensor.EnsureShape(d.dw, d.Out, d.In)
 	d.w.G.AddInPlace(tensor.MatMulTransAInto(d.dw, dout, d.x))
-	d.b.G.AddInPlace(tensor.SumRows(dout))
+	d.db = tensor.SumRowsInto(d.db, dout)
+	d.b.G.AddInPlace(d.db)
 	d.dx = tensor.EnsureShape(d.dx, dout.Dim(0), d.In)
 	return tensor.MatMulInto(d.dx, dout, d.w.W)
 }
 
 // ReleaseActivations implements ActivationReleaser.
 func (d *Dense) ReleaseActivations() {
-	d.x, d.fwdOut, d.dw, d.dx = nil, nil, nil, nil
+	d.x, d.fwdOut, d.dw, d.db, d.dx = nil, nil, nil, nil, nil
 }
 
 // Params implements Layer.
-func (d *Dense) Params() []*Param { return []*Param{d.w, d.b} }
+func (d *Dense) Params() []*Param { return []*Param{d.w, d.b} } //goldfish:allocok — tiny header; Network.Params caches the result
 
 // Clone implements Layer.
+//
+//goldfish:coldpath — replica construction is setup; hot paths reuse pooled replicas
 func (d *Dense) Clone() Layer {
 	return &Dense{
 		In:  d.In,
@@ -99,13 +104,15 @@ type ReLU struct {
 var _ Layer = (*ReLU)(nil)
 
 // NewReLU creates a ReLU activation layer.
+//
+//goldfish:coldpath
 func NewReLU() *ReLU { return &ReLU{} }
 
 // Forward implements Layer.
 func (r *ReLU) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
 	r.out = tensor.EnsureShape(r.out, x.Shape()...)
 	if cap(r.mask) < x.Size() {
-		r.mask = make([]bool, x.Size())
+		r.mask = make([]bool, x.Size()) //goldfish:allocok — grow-once scratch, reused across batches
 	}
 	r.mask = r.mask[:x.Size()]
 	od := r.out.Data()
@@ -142,6 +149,8 @@ func (r *ReLU) Backward(dout *tensor.Tensor) *tensor.Tensor {
 func (r *ReLU) Params() []*Param { return nil }
 
 // Clone implements Layer.
+//
+//goldfish:coldpath — replica construction is setup; hot paths reuse pooled replicas
 func (r *ReLU) Clone() Layer { return &ReLU{} }
 
 // ReleaseActivations implements ActivationReleaser.
@@ -155,6 +164,8 @@ type Flatten struct {
 var _ Layer = (*Flatten)(nil)
 
 // NewFlatten creates a flattening layer.
+//
+//goldfish:coldpath
 func NewFlatten() *Flatten { return &Flatten{} }
 
 // Forward implements Layer.
@@ -176,6 +187,8 @@ func (f *Flatten) Backward(dout *tensor.Tensor) *tensor.Tensor {
 func (f *Flatten) Params() []*Param { return nil }
 
 // Clone implements Layer.
+//
+//goldfish:coldpath — replica construction is setup; hot paths reuse pooled replicas
 func (f *Flatten) Clone() Layer { return &Flatten{} }
 
 // ReleaseActivations implements ActivationReleaser.

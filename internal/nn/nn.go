@@ -69,16 +69,26 @@ type Layer interface {
 // network; use NewNetwork or Add.
 type Network struct {
 	layers []Layer
+
+	// params caches the flattened Params() view; Add invalidates it. Training
+	// and vector plumbing call Params() every batch, so rebuilding the slice
+	// each time was a steady per-batch allocation.
+	params []*Param
 }
 
 // NewNetwork builds a sequential network from the given layers.
+//
+//goldfish:coldpath
 func NewNetwork(layers ...Layer) *Network {
 	return &Network{layers: append([]Layer(nil), layers...)}
 }
 
 // Add appends layers to the network and returns it for chaining.
+//
+//goldfish:coldpath
 func (n *Network) Add(layers ...Layer) *Network {
 	n.layers = append(n.layers, layers...)
+	n.params = nil
 	return n
 }
 
@@ -105,13 +115,16 @@ func (n *Network) Backward(dout *tensor.Tensor) *tensor.Tensor {
 	return dout
 }
 
-// Params returns all learnable parameters in layer order.
+// Params returns all learnable parameters in layer order. The slice is built
+// once and cached (Add invalidates it); callers must not append to or mutate
+// it.
 func (n *Network) Params() []*Param {
-	var ps []*Param
-	for _, l := range n.layers {
-		ps = append(ps, l.Params()...)
+	if n.params == nil {
+		for _, l := range n.layers {
+			n.params = append(n.params, l.Params()...) //goldfish:allocok — built once, then cached
+		}
 	}
-	return ps
+	return n.params
 }
 
 // NumParams returns the total number of scalar parameters.
@@ -144,6 +157,8 @@ func (n *Network) ZeroGrads() {
 
 // Clone returns a deep copy of the network (parameters copied, activations
 // not).
+//
+//goldfish:coldpath — replica construction is setup; hot paths reuse pooled replicas
 func (n *Network) Clone() *Network {
 	out := &Network{layers: make([]Layer, len(n.layers))}
 	for i, l := range n.layers {
@@ -156,9 +171,9 @@ func (n *Network) Clone() *Network {
 // order. The layout is stable for networks of identical architecture, which
 // federated aggregation relies on.
 func (n *Network) ParamVector() []float64 {
-	out := make([]float64, 0, n.NumParams())
+	out := make([]float64, 0, n.NumParams()) //goldfish:allocok — new vector escapes by API contract
 	for _, p := range n.Params() {
-		out = append(out, p.W.Data()...)
+		out = append(out, p.W.Data()...) //goldfish:allocok — fills the preallocated vector above
 	}
 	return out
 }
@@ -166,9 +181,9 @@ func (n *Network) ParamVector() []float64 {
 // GradVector flattens all gradients into a single new []float64 in the same
 // layout as ParamVector.
 func (n *Network) GradVector() []float64 {
-	out := make([]float64, 0, n.NumParams())
+	out := make([]float64, 0, n.NumParams()) //goldfish:allocok — new vector escapes by API contract
 	for _, p := range n.Params() {
-		out = append(out, p.G.Data()...)
+		out = append(out, p.G.Data()...) //goldfish:allocok — fills the preallocated vector above
 	}
 	return out
 }

@@ -30,7 +30,7 @@ func checkMatMul2D(op string, dst, a, b *Tensor, m, n int, innerOK bool) *Tensor
 		panic(fmt.Sprintf("tensor: %s inner dimension mismatch %v · %v", op, a.shape, b.shape))
 	}
 	if dst == nil {
-		return New(m, n)
+		return New(m, n) //goldfish:allocok — nil-dst convenience path; hot callers pass a reusable dst
 	}
 	if len(dst.shape) != 2 || dst.shape[0] != m || dst.shape[1] != n {
 		panic(fmt.Sprintf("tensor: %s destination shape %v, want [%d %d]", op, dst.shape, m, n))
@@ -56,6 +56,8 @@ func MatMul(a, b *Tensor) *Tensor { return MatMulInto(nil, a, b) }
 // (m,n) or be nil, in which case a new tensor is allocated; passing a
 // reusable dst eliminates the per-call output allocation on hot paths.
 // dst must not alias a or b.
+//
+//goldfish:hotpath
 func MatMulInto(dst, a, b *Tensor) *Tensor {
 	m, k := dims2(a)
 	k2, n := dims2(b)
@@ -94,6 +96,8 @@ func MatMulTransB(a, b *Tensor) *Tensor { return MatMulTransBInto(nil, a, b) }
 
 // MatMulTransBInto computes a·bᵀ into dst (shape (m,n), or nil to
 // allocate) and returns it. dst must not alias a or b.
+//
+//goldfish:hotpath
 func MatMulTransBInto(dst, a, b *Tensor) *Tensor {
 	m, k := dims2(a)
 	n, k2 := dims2(b)
@@ -127,6 +131,8 @@ func MatMulTransA(a, b *Tensor) *Tensor { return MatMulTransAInto(nil, a, b) }
 
 // MatMulTransAInto computes aᵀ·b into dst (shape (m,n), or nil to
 // allocate) and returns it. dst must not alias a or b.
+//
+//goldfish:hotpath
 func MatMulTransAInto(dst, a, b *Tensor) *Tensor {
 	k, m := dims2(a)
 	k2, n := dims2(b)
@@ -186,6 +192,16 @@ func (t *Tensor) Row(i int) []float64 {
 // SoftmaxRows returns row-wise softmax(logits/temp) for a 2-D tensor.
 // temp must be positive.
 func SoftmaxRows(logits *Tensor, temp float64) *Tensor {
+	return SoftmaxRowsInto(nil, logits, temp) //goldfish:allocok — convenience wrapper; result escapes to caller
+}
+
+// SoftmaxRowsInto computes row-wise softmax(logits/temp) into dst and returns
+// it. dst is resized via EnsureShape (nil allocates); passing a reusable dst
+// eliminates the per-call output allocation on hot paths. dst must not alias
+// logits. temp must be positive.
+//
+//goldfish:hotpath
+func SoftmaxRowsInto(dst, logits *Tensor, temp float64) *Tensor {
 	if len(logits.shape) != 2 {
 		panic(fmt.Sprintf("tensor: SoftmaxRows requires a 2-D tensor, got %v", logits.shape))
 	}
@@ -193,7 +209,7 @@ func SoftmaxRows(logits *Tensor, temp float64) *Tensor {
 		panic(fmt.Sprintf("tensor: SoftmaxRows temperature must be positive, got %g", temp))
 	}
 	m, n := logits.shape[0], logits.shape[1]
-	out := New(m, n)
+	out := EnsureShape(dst, m, n)
 	parallelRows(m, 8*m*n, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			src := logits.data[i*n : (i+1)*n]
@@ -226,12 +242,14 @@ func softmaxInto(dst, src []float64, temp float64) {
 }
 
 // LogSoftmaxRows returns row-wise log-softmax of a 2-D tensor.
+//
+//goldfish:hotpath
 func LogSoftmaxRows(logits *Tensor) *Tensor {
 	if len(logits.shape) != 2 {
 		panic(fmt.Sprintf("tensor: LogSoftmaxRows requires a 2-D tensor, got %v", logits.shape))
 	}
 	m, n := logits.shape[0], logits.shape[1]
-	out := New(m, n)
+	out := New(m, n) //goldfish:allocok — result escapes to caller by API contract
 	parallelRows(m, 8*m*n, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			src := logits.data[i*n : (i+1)*n]
@@ -262,7 +280,7 @@ func ArgMaxRows(t *Tensor) []int {
 		panic(fmt.Sprintf("tensor: ArgMaxRows requires a 2-D tensor, got %v", t.shape))
 	}
 	m, n := t.shape[0], t.shape[1]
-	out := make([]int, m)
+	out := make([]int, m) //goldfish:allocok — result escapes to caller; hot callers stream per batch
 	for i := 0; i < m; i++ {
 		row := t.data[i*n : (i+1)*n]
 		best := 0
@@ -278,11 +296,19 @@ func ArgMaxRows(t *Tensor) []int {
 
 // SumRows returns a length-n vector with the column sums of an (m,n) tensor.
 func SumRows(t *Tensor) *Tensor {
+	return SumRowsInto(nil, t) //goldfish:allocok — convenience wrapper; result escapes to caller
+}
+
+// SumRowsInto writes the column sums of an (m,n) tensor into dst (a length-n
+// vector, resized via EnsureShape; nil allocates) and returns it. dst must
+// not alias t.
+func SumRowsInto(dst, t *Tensor) *Tensor {
 	if len(t.shape) != 2 {
 		panic(fmt.Sprintf("tensor: SumRows requires a 2-D tensor, got %v", t.shape))
 	}
 	m, n := t.shape[0], t.shape[1]
-	out := New(n)
+	out := EnsureShape(dst, n)
+	clear(out.data)
 	for i := 0; i < m; i++ {
 		row := t.data[i*n : (i+1)*n]
 		for j, v := range row {
@@ -296,6 +322,13 @@ func SumRows(t *Tensor) *Tensor {
 // of an (m, …) tensor; trailing dimensions are preserved. Row indices may
 // repeat.
 func SliceRows(t *Tensor, idx []int) *Tensor {
+	return SliceRowsInto(nil, t, idx) //goldfish:allocok — convenience wrapper; result escapes to caller
+}
+
+// SliceRowsInto copies the selected rows of t into dst (resized via
+// EnsureShape to (len(idx), …trailing dims); nil allocates) and returns it.
+// dst must not alias t. Row indices may repeat.
+func SliceRowsInto(dst, t *Tensor, idx []int) *Tensor {
 	if len(t.shape) < 1 {
 		panic("tensor: SliceRows on scalar tensor")
 	}
@@ -303,8 +336,8 @@ func SliceRows(t *Tensor, idx []int) *Tensor {
 	for _, d := range t.shape[1:] {
 		rowLen *= d
 	}
-	outShape := append([]int{len(idx)}, t.shape[1:]...)
-	out := New(outShape...)
+	outShape := append([]int{len(idx)}, t.shape[1:]...) //goldfish:allocok — shape header only
+	out := EnsureShape(dst, outShape...)
 	for i, r := range idx {
 		if r < 0 || r >= t.shape[0] {
 			panic(fmt.Sprintf("tensor: SliceRows index %d out of range [0,%d)", r, t.shape[0]))
@@ -337,8 +370,8 @@ func Concat(ts ...*Tensor) *Tensor {
 		}
 		total += t.shape[0]
 	}
-	outShape := append([]int{total}, rowShape...)
-	out := New(outShape...)
+	outShape := append([]int{total}, rowShape...) //goldfish:allocok — shape header only
+	out := New(outShape...)                       //goldfish:allocok — result escapes to caller by API contract
 	off := 0
 	for _, t := range ts {
 		copy(out.data[off:], t.data)
