@@ -47,16 +47,18 @@ func main() {
 
 func run() int {
 	var (
-		list  = flag.Bool("list", false, "list available experiments and exit")
-		exp   = flag.String("exp", "", "experiment id to run, or \"all\"")
-		scale = flag.String("scale", "small", "experiment scale: tiny|small|medium|paper")
-		seed  = flag.Int64("seed", 1, "random seed")
-		round = flag.Int("rounds", 0, "override round budget (0 = per-scale default)")
-		rates = flag.String("rates", "", "comma-separated deletion rates in percent (e.g. 2,6,12)")
-		out   = flag.String("out", "", "also append reports to this file")
-		jsonP = flag.String("json", "", "write the machine-readable performance report (BENCH_*.json) here")
-		cfgP  = flag.String("config", "", "scenario spec file for -exp scenario")
-		ver   = flag.Bool("version", false, "print the version and exit")
+		list   = flag.Bool("list", false, "list available experiments and exit")
+		exp    = flag.String("exp", "", "experiment id to run, or \"all\"")
+		scale  = flag.String("scale", "small", "experiment scale: tiny|small|medium|paper")
+		seed   = flag.Int64("seed", 1, "random seed")
+		round  = flag.Int("rounds", 0, "override round budget (0 = per-scale default)")
+		rates  = flag.String("rates", "", "comma-separated deletion rates in percent (e.g. 2,6,12)")
+		out    = flag.String("out", "", "also append reports to this file")
+		jsonP  = flag.String("json", "", "write the machine-readable performance report (BENCH_*.json) here")
+		cfgP   = flag.String("config", "", "scenario spec file for -exp scenario")
+		traceP = flag.String("trace", "", "write a JSONL span trace of the run to this path (side channel; reports stay byte-identical)")
+		obsOut = flag.String("obs", "", "write the metrics snapshot (counters/histograms JSON) to this path after the run")
+		ver    = flag.Bool("version", false, "print the version and exit")
 	)
 	flag.Parse()
 
@@ -75,6 +77,13 @@ func run() int {
 		fmt.Fprintln(os.Stderr, "goldfish-bench: -exp is required (or -list); e.g. -exp table3")
 		return 2
 	}
+
+	observer, finish, oerr := setupObservability(*traceP, *obsOut)
+	if oerr != nil {
+		fmt.Fprintf(os.Stderr, "goldfish-bench: %v\n", oerr)
+		return 1
+	}
+	defer finish()
 
 	opts := bench.Options{Scale: data.Scale(*scale), Seed: *seed, Rounds: *round}
 	if *rates != "" {
@@ -110,9 +119,9 @@ func run() int {
 	case "perf":
 		// Performance suite only; end-to-end timing covers table3 by
 		// default so the report always carries an experiment-level number.
-		return runPerf(sink, opts, []string{"table3"}, nil, *jsonP)
+		return runPerf(sink, opts, []string{"table3"}, nil, *jsonP, observer)
 	case "scenario":
-		return runScenario(sink, *cfgP, *jsonP)
+		return runScenario(sink, *cfgP, *jsonP, observer)
 	default:
 		e, err := bench.ByID(*exp)
 		if err != nil {
@@ -142,14 +151,14 @@ func run() int {
 	if *jsonP != "" {
 		// Reuse the timings just measured; only the kernel and round suites
 		// run in addition.
-		return runPerf(sink, opts, nil, measured, *jsonP)
+		return runPerf(sink, opts, nil, measured, *jsonP, observer)
 	}
 	return 0
 }
 
 // runScenario runs a declarative experiment matrix through the public
 // goldfish.RunScenario path, mirroring the goldfish-scenario command.
-func runScenario(sink io.Writer, cfgPath, jsonPath string) int {
+func runScenario(sink io.Writer, cfgPath, jsonPath string, observer *goldfish.Observer) int {
 	if cfgPath == "" {
 		fmt.Fprintln(os.Stderr, "goldfish-bench: -exp scenario requires -config file.json")
 		return 2
@@ -160,7 +169,7 @@ func runScenario(sink io.Writer, cfgPath, jsonPath string) int {
 		return 2
 	}
 	start := time.Now()
-	rep, err := goldfish.RunScenario(context.Background(), spec)
+	rep, err := goldfish.RunScenario(goldfish.WithObservability(context.Background(), observer), spec)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "goldfish-bench: %v\n", err)
 		return 1
@@ -184,8 +193,8 @@ func runScenario(sink io.Writer, cfgPath, jsonPath string) int {
 // runPerf executes the performance suite (running and timing the experiment
 // IDs in run, and folding in any pre-measured timings), prints the text
 // summary, and writes the JSON artifact when a path is given.
-func runPerf(sink io.Writer, opts bench.Options, run []string, measured []bench.ExperimentResult, jsonPath string) int {
-	rep, err := bench.RunPerf(bench.PerfOptions{Options: opts, Experiments: run})
+func runPerf(sink io.Writer, opts bench.Options, run []string, measured []bench.ExperimentResult, jsonPath string, observer *goldfish.Observer) int {
+	rep, err := bench.RunPerf(bench.PerfOptions{Options: opts, Experiments: run, Observer: observer})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "goldfish-bench: perf: %v\n", err)
 		return 1
@@ -200,4 +209,51 @@ func runPerf(sink io.Writer, opts bench.Options, run []string, measured []bench.
 		fmt.Fprintf(sink, "wrote %s\n", jsonPath)
 	}
 	return 0
+}
+
+// setupObservability builds the run's Observer from the -trace/-obs flags
+// (nil when both are empty — observability off). The returned finish flushes:
+// it reports any trace-sink write error, closes the trace file and writes the
+// -obs metrics snapshot.
+func setupObservability(tracePath, obsPath string) (*goldfish.Observer, func(), error) {
+	if tracePath == "" && obsPath == "" {
+		return nil, func() {}, nil
+	}
+	var traceFile *os.File
+	if tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			return nil, nil, fmt.Errorf("opening trace sink: %w", err)
+		}
+		traceFile = f
+	}
+	var tw io.Writer
+	if traceFile != nil {
+		tw = traceFile
+	}
+	observer := goldfish.NewObserver(tw)
+	finish := func() {
+		if err := observer.TraceErr(); err != nil {
+			fmt.Fprintf(os.Stderr, "goldfish-bench: %v\n", err)
+		}
+		if traceFile != nil {
+			if err := traceFile.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "goldfish-bench: closing %s: %v\n", tracePath, err)
+			}
+		}
+		if obsPath != "" {
+			f, err := os.Create(obsPath)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "goldfish-bench: %v\n", err)
+				return
+			}
+			if err := observer.WriteSnapshot(f); err != nil {
+				fmt.Fprintf(os.Stderr, "goldfish-bench: %v\n", err)
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "goldfish-bench: closing %s: %v\n", obsPath, err)
+			}
+		}
+	}
+	return observer, finish, nil
 }

@@ -12,6 +12,7 @@
 //	goldfish-scenario -config examples/scenarios/smoke.json
 //	goldfish-scenario -config spec.json -json report.json
 //	goldfish-scenario -config spec.json -validate
+//	goldfish-scenario -config spec.json -trace trace.jsonl -obs metrics.json
 //
 // A matrix can be split across machines and recombined: -shard i/n runs a
 // deterministic subset (each "retrain" reference cell stays co-located with
@@ -45,6 +46,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"syscall"
@@ -68,6 +70,8 @@ func run() int {
 		baseline = flag.String("baseline", "", "diff the report against this baseline report; exit non-zero on significant regressions")
 		alpha    = flag.Float64("alpha", 0, "baseline diff significance level (default 0.05)")
 		minDelta = flag.Float64("min-delta", 0, "baseline diff practical-significance floor on metric deltas")
+		traceP   = flag.String("trace", "", "write a JSONL span trace of the run to this path (side channel; the report stays byte-identical)")
+		obsP     = flag.String("obs", "", "write the metrics snapshot (counters/histograms JSON) to this path after the run")
 		showVer  = flag.Bool("version", false, "print the version and exit")
 	)
 	flag.Parse()
@@ -157,6 +161,14 @@ func run() int {
 		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 		defer stop()
 
+		observer, finish, oerr := setupObservability(*traceP, *obsP)
+		if oerr != nil {
+			fmt.Fprintf(os.Stderr, "goldfish-scenario: %v\n", oerr)
+			return 1
+		}
+		defer finish()
+		ctx = goldfish.WithObservability(ctx, observer)
+
 		rep, err = goldfish.RunScenarioShard(ctx, spec, *shard)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "goldfish-scenario: %v\n", err)
@@ -210,4 +222,51 @@ func run() int {
 		fmt.Printf("no significant regressions vs %s\n", *baseline)
 	}
 	return 0
+}
+
+// setupObservability builds the run's Observer from the -trace/-obs flags
+// (nil when both are empty — observability off). The returned finish flushes:
+// it reports any trace-sink write error, closes the trace file and writes the
+// -obs metrics snapshot, so it runs even when the matrix exits early.
+func setupObservability(tracePath, obsPath string) (*goldfish.Observer, func(), error) {
+	if tracePath == "" && obsPath == "" {
+		return nil, func() {}, nil
+	}
+	var traceFile *os.File
+	if tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			return nil, nil, fmt.Errorf("opening trace sink: %w", err)
+		}
+		traceFile = f
+	}
+	var tw io.Writer
+	if traceFile != nil {
+		tw = traceFile
+	}
+	observer := goldfish.NewObserver(tw)
+	finish := func() {
+		if err := observer.TraceErr(); err != nil {
+			fmt.Fprintf(os.Stderr, "goldfish-scenario: %v\n", err)
+		}
+		if traceFile != nil {
+			if err := traceFile.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "goldfish-scenario: closing %s: %v\n", tracePath, err)
+			}
+		}
+		if obsPath != "" {
+			f, err := os.Create(obsPath)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "goldfish-scenario: %v\n", err)
+				return
+			}
+			if err := observer.WriteSnapshot(f); err != nil {
+				fmt.Fprintf(os.Stderr, "goldfish-scenario: %v\n", err)
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "goldfish-scenario: closing %s: %v\n", obsPath, err)
+			}
+		}
+	}
+	return observer, finish, nil
 }

@@ -8,6 +8,7 @@
 //
 //	goldfish-server -addr :7070 -clients 3 -rounds 8 -dataset mnist -scale tiny
 //	goldfish-server -addr :7070 -clients 3 -agg adaptive
+//	goldfish-server -addr :7070 -clients 3 -obs-addr 127.0.0.1:9090
 //
 // The dataset/scale/seed flags must match the clients' so both sides build
 // identical architectures and evaluation data.
@@ -15,9 +16,11 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
@@ -26,6 +29,7 @@ import (
 	"goldfish"
 	"goldfish/internal/fed"
 	"goldfish/internal/metrics"
+	"goldfish/internal/obs"
 	"goldfish/internal/version"
 )
 
@@ -44,6 +48,8 @@ func run() int {
 		agg     = flag.String("agg", "fedavg", "aggregator: fedavg|adaptive")
 		timeout = flag.Duration("round-timeout", time.Minute,
 			"per-round straggler bound; slower clients are dropped for the round (0 = wait forever)")
+		obsAddr = flag.String("obs-addr", "",
+			"serve /healthz, /debug/vars and /debug/pprof on this address (observability HTTP is off when empty)")
 		ver = flag.Bool("version", false, "print the version and exit")
 	)
 	flag.Parse()
@@ -118,6 +124,25 @@ func run() int {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	observer := goldfish.NewObserver(nil)
+	ctx = goldfish.WithObservability(ctx, observer)
+	if *obsAddr != "" {
+		obsSrv, obsLn, err := startObsServer(*obsAddr, observer)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "goldfish-server: %v\n", err)
+			return 1
+		}
+		fmt.Printf("goldfish-server: observability on http://%s (/healthz /debug/vars /debug/pprof)\n", obsLn.Addr())
+		defer func() {
+			shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			if err := obsSrv.Shutdown(shutCtx); err != nil {
+				fmt.Fprintf(os.Stderr, "goldfish-server: obs shutdown: %v\n", err)
+			}
+		}()
+	}
+
 	final, err := srv.Serve(ctx, ln)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "goldfish-server: %v\n", err)
@@ -129,4 +154,22 @@ func run() int {
 	}
 	fmt.Printf("final global accuracy: %.2f%%\n", goldfish.Accuracy(initNet, test)*100)
 	return 0
+}
+
+// startObsServer exposes the observer's metrics (plus health and pprof
+// endpoints) over HTTP on addr and serves in the background. The returned
+// server is shut down gracefully by the caller; the listener reports the
+// bound address (useful with ":0").
+func startObsServer(addr string, o *goldfish.Observer) (*http.Server, net.Listener, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, nil, fmt.Errorf("obs endpoint: %w", err)
+	}
+	srv := &http.Server{Handler: obs.Handler("goldfish-server "+version.Version, o.Registry())}
+	go func() {
+		if err := srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintf(os.Stderr, "goldfish-server: obs endpoint: %v\n", err)
+		}
+	}()
+	return srv, ln, nil
 }

@@ -10,6 +10,7 @@ import (
 	"strings"
 	"time"
 
+	"goldfish/internal/obs"
 	"goldfish/internal/tensor"
 	"goldfish/internal/unlearn"
 )
@@ -52,6 +53,20 @@ type RoundResult struct {
 	ModelSize  int     `json:"model_params"`
 	TrainRows  int     `json:"train_rows"`
 	Aggregator string  `json:"aggregator"`
+	// Phases breaks the measured rounds down by engine phase (sample →
+	// train → score → aggregate), from the round engine's fed.phase_us.*
+	// observability counters.
+	Phases []PhaseTiming `json:"phases,omitempty"`
+}
+
+// PhaseTiming is one engine phase's share of the benchmarked rounds.
+type PhaseTiming struct {
+	// Phase is the engine phase name (sample, train, score, aggregate).
+	Phase string `json:"phase"`
+	// TotalSec is the phase's cumulative wall time across all rounds.
+	TotalSec float64 `json:"total_sec"`
+	// Share is TotalSec over the whole run's wall time, in [0,1].
+	Share float64 `json:"share"`
 }
 
 // ExperimentResult is the end-to-end wall time of one registered paper
@@ -86,6 +101,10 @@ type PerfOptions struct {
 	// Experiments lists registered experiment IDs to run and time end to
 	// end (empty: none).
 	Experiments []string
+	// Observer, when set, receives the run's spans and instruments (a CLI
+	// -trace/-obs attachment). The phase breakdown works either way: with
+	// no Observer a private metrics-only one supplies the counters.
+	Observer *obs.Observer
 }
 
 // perfKernelShapes are the measured matmul problems. Batch dimensions are
@@ -120,7 +139,7 @@ func RunPerf(po PerfOptions) (*PerfReport, error) {
 		)
 	}
 
-	round, err := benchRound(opts)
+	round, err := benchRound(opts, po.Observer)
 	if err != nil {
 		return nil, err
 	}
@@ -212,9 +231,14 @@ func timeCall(call func(), minTime time.Duration) float64 {
 	}
 }
 
+// enginePhases are the round-engine phases broken out in the perf report,
+// matching the fed.phase_us.* counter suffixes.
+var enginePhases = []string{"sample", "train", "score", "aggregate"}
+
 // benchRound times federated rounds of the paper's MNIST preset at the
-// requested scale through the shared round engine.
-func benchRound(opts Options) (*RoundResult, error) {
+// requested scale through the shared round engine, attributing the wall time
+// to engine phases via the engine's observability counters.
+func benchRound(opts Options, o *obs.Observer) (*RoundResult, error) {
 	s, err := newSetup("mnist", archFor("mnist"), opts)
 	if err != nil {
 		return nil, err
@@ -231,12 +255,19 @@ func benchRound(opts Options) (*RoundResult, error) {
 	if rounds < 2 {
 		rounds = 2
 	}
+	if o == nil {
+		o = obs.New(nil) // metrics-only: the phase counters still accumulate
+	}
+	before := make([]int64, len(enginePhases))
+	for i, p := range enginePhases {
+		before[i] = o.Counter("fed.phase_us." + p).Value()
+	}
 	start := time.Now()
-	if err := f.Run(context.Background(), rounds, nil); err != nil {
+	if err := f.Run(obs.NewContext(context.Background(), o), rounds, nil); err != nil {
 		return nil, err
 	}
 	total := time.Since(start)
-	return &RoundResult{
+	res := &RoundResult{
 		Dataset:    "mnist",
 		Scale:      string(s.opts.Scale),
 		Clients:    s.clients,
@@ -246,7 +277,16 @@ func benchRound(opts Options) (*RoundResult, error) {
 		ModelSize:  len(f.Global()),
 		TrainRows:  s.train.Len(),
 		Aggregator: "fedavg",
-	}, nil
+	}
+	for i, p := range enginePhases {
+		sec := float64(o.Counter("fed.phase_us."+p).Value()-before[i]) / 1e6
+		var share float64
+		if total > 0 {
+			share = sec / total.Seconds()
+		}
+		res.Phases = append(res.Phases, PhaseTiming{Phase: p, TotalSec: sec, Share: share})
+	}
+	return res, nil
 }
 
 // WriteJSON writes the report, pretty-printed, to path.
@@ -282,6 +322,13 @@ func (r *PerfReport) RenderText() string {
 	for _, rd := range r.Rounds {
 		fmt.Fprintf(&out, "round engine: %s@%s, %d clients, %d rounds: %.3fs/round (%d params, %d rows)\n",
 			rd.Dataset, rd.Scale, rd.Clients, rd.Rounds, rd.SecPerRnd, rd.ModelSize, rd.TrainRows)
+		if len(rd.Phases) > 0 {
+			out.WriteString("  phase breakdown:")
+			for _, p := range rd.Phases {
+				fmt.Fprintf(&out, " %s %.1f%%", p.Phase, p.Share*100)
+			}
+			out.WriteByte('\n')
+		}
 	}
 	for _, e := range r.Experiments {
 		fmt.Fprintf(&out, "experiment %s@%s: %.2fs end to end\n", e.ID, e.Scale, e.Seconds)

@@ -7,6 +7,8 @@ import (
 	"math/rand"
 	"sync"
 	"time"
+
+	"goldfish/internal/obs"
 )
 
 // This file is the single federated round engine. One round — client
@@ -163,11 +165,31 @@ func (e *Engine) sample() []int {
 	return all[:k]
 }
 
-// RunRound executes one federation round.
+// RunRound executes one federation round. Phase timings (sample → train →
+// score → aggregate) are reported through the context's obs.Observer as
+// fed/* spans and fed.phase_us.* counters; with no observer attached every
+// obs call is a nil-receiver no-op.
 //
 //goldfish:hotpath
-func (e *Engine) RunRound(ctx context.Context) error {
+func (e *Engine) RunRound(ctx context.Context) (err error) {
+	o := obs.FromContext(ctx)
+	span := o.StartSpan("fed/round", obs.Int("round", e.round))
+	t0 := o.Elapsed()
+	defer func() {
+		o.Histogram("fed.round_ms", obs.MillisBuckets).Observe(float64((o.Elapsed() - t0).Microseconds()) / 1e3)
+		if err != nil {
+			o.Counter("fed.round_errors").Inc()
+		} else {
+			o.Counter("fed.rounds").Inc()
+		}
+		span.End()
+	}()
+
+	sampleSpan := span.Child("fed/sample")
+	phase := o.Elapsed()
 	participants := e.sample()
+	o.Counter("fed.phase_us.sample").Add((o.Elapsed() - phase).Microseconds())
+	sampleSpan.End()
 	if len(participants) == 0 {
 		return fmt.Errorf("fed: round %d: no participants", e.round)
 	}
@@ -178,7 +200,11 @@ func (e *Engine) RunRound(ctx context.Context) error {
 		defer cancel()
 	}
 
+	trainSpan := span.Child("fed/train", obs.Int("participants", len(participants)))
+	phase = o.Elapsed()
 	results := e.trans.ExecuteRound(roundCtx, e.round, participants, e.global)
+	o.Counter("fed.phase_us.train").Add((o.Elapsed() - phase).Microseconds())
+	trainSpan.End()
 
 	updates := make([]ModelUpdate, 0, len(results)) //goldfish:allocok — escapes to Aggregator and OnRound per round
 	var dropped []int
@@ -189,6 +215,8 @@ func (e *Engine) RunRound(ctx context.Context) error {
 		}
 		updates = append(updates, r.Update) //goldfish:allocok — escapes to Aggregator and OnRound
 	}
+	o.Counter("fed.updates").Add(int64(len(updates)))
+	o.Counter("fed.dropped").Add(int64(len(dropped)))
 	minOK := e.cfg.MinClients
 	if minOK > len(participants) {
 		minOK = len(participants)
@@ -199,34 +227,23 @@ func (e *Engine) RunRound(ctx context.Context) error {
 	}
 
 	if e.cfg.Scorer != nil {
-		// Client updates are independent, so the server-side quality probe
-		// (Eq. 12) scores them concurrently; Scorer implementations must be
-		// safe for concurrent use (see the Scorer contract).
-		scoreErrs := make([]error, len(updates)) //goldfish:allocok — once per scored round, not per client
-		var wg sync.WaitGroup
-		for i := range updates {
-			wg.Add(1)
-			go func(i int) {
-				defer wg.Done()
-				mse, err := e.cfg.Scorer.Score(updates[i].Params)
-				if err != nil {
-					scoreErrs[i] = err
-					return
-				}
-				updates[i].MSE = mse
-			}(i)
-		}
-		wg.Wait()
-		for i, err := range scoreErrs {
-			if err != nil {
-				return fmt.Errorf("fed: round %d: scoring client %d: %w", e.round, updates[i].ClientID, err)
-			}
+		scoreSpan := span.Child("fed/score", obs.Int("updates", len(updates)))
+		phase = o.Elapsed()
+		err = e.scoreUpdates(updates)
+		o.Counter("fed.phase_us.score").Add((o.Elapsed() - phase).Microseconds())
+		scoreSpan.End()
+		if err != nil {
+			return err
 		}
 	}
 
-	global, err := e.cfg.Aggregator.Aggregate(updates)
-	if err != nil {
-		return fmt.Errorf("fed: round %d: %w", e.round, err)
+	aggSpan := span.Child("fed/aggregate", obs.Int("updates", len(updates)))
+	phase = o.Elapsed()
+	global, aggErr := e.cfg.Aggregator.Aggregate(updates)
+	o.Counter("fed.phase_us.aggregate").Add((o.Elapsed() - phase).Microseconds())
+	aggSpan.End()
+	if aggErr != nil {
+		return fmt.Errorf("fed: round %d: %w", e.round, aggErr)
 	}
 	e.global = global
 	e.round++
@@ -238,6 +255,34 @@ func (e *Engine) RunRound(ctx context.Context) error {
 			Updates: updates,
 			Dropped: dropped,
 		})
+	}
+	return nil
+}
+
+// scoreUpdates fills each update's MSE via the configured Scorer. Client
+// updates are independent, so the server-side quality probe (Eq. 12) scores
+// them concurrently; Scorer implementations must be safe for concurrent use
+// (see the Scorer contract).
+func (e *Engine) scoreUpdates(updates []ModelUpdate) error {
+	scoreErrs := make([]error, len(updates)) //goldfish:allocok — once per scored round, not per client
+	var wg sync.WaitGroup
+	for i := range updates {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			mse, err := e.cfg.Scorer.Score(updates[i].Params)
+			if err != nil {
+				scoreErrs[i] = err
+				return
+			}
+			updates[i].MSE = mse
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range scoreErrs {
+		if err != nil {
+			return fmt.Errorf("fed: round %d: scoring client %d: %w", e.round, updates[i].ClientID, err)
+		}
 	}
 	return nil
 }
@@ -271,17 +316,21 @@ func (t *LocalTransport) Remove(i int) error {
 	return nil
 }
 
-// ExecuteRound implements Transport.
+// ExecuteRound implements Transport. Each sampled trainer's local training
+// is traced as a fed/client_train span through the context's observer.
 func (t *LocalTransport) ExecuteRound(ctx context.Context, round int, participants []int, global []float64) []RoundResult {
+	o := obs.FromContext(ctx)
 	results := make([]RoundResult, len(participants)) //goldfish:allocok — result set escapes to the engine
 	var wg sync.WaitGroup
 	for k, idx := range participants {
 		wg.Add(1)
 		go func(k, idx int) {
 			defer wg.Done()
+			sp := o.StartSpan("fed/client_train", obs.Int("round", round), obs.Int("client", idx))
 			// Each trainer receives its own copy of the global vector.
 			g := append([]float64(nil), global...) //goldfish:allocok — per-trainer isolation is the Transport contract
 			u, err := t.trainers[idx].TrainRound(ctx, round, g)
+			sp.End()
 			results[k] = RoundResult{Index: idx, Update: u, Err: err}
 		}(k, idx)
 	}

@@ -214,7 +214,7 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) (final []float64, e
 			joinBound = joinTimeout
 		}
 		var hello envelope
-		_ = conn.SetReadDeadline(time.Now().Add(joinBound))
+		_ = conn.SetReadDeadline(time.Now().Add(joinBound)) //goldfish:nondeterministic — socket deadline, never reaches a report
 		// Unblock the handshake read early if the server is cancelled.
 		stopJoin := context.AfterFunc(ctx, func() { _ = conn.SetReadDeadline(time.Unix(1, 0)) })
 		derr := c.dec.Decode(&hello)

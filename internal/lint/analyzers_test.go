@@ -27,6 +27,14 @@ func TestDeterminismUnscoped(t *testing.T) {
 	linttest.Run(t, testdata("determinism_unscoped"), "goldfish/internal/bench/linttestdata", lint.DeterminismAnalyzer)
 }
 
+// TestDeterminismObsAllowlist loads wall-clock reads under the internal/obs
+// import path: the clock rule is exempted there (obs is the observability
+// side channel that owns the clock) while the shared-rand and map-order
+// rules still fire, proving the allowlist is clock-only, not package-wide.
+func TestDeterminismObsAllowlist(t *testing.T) {
+	linttest.Run(t, testdata("determinism_obs"), "goldfish/internal/obs/linttestdata", lint.DeterminismAnalyzer)
+}
+
 // TestRegistry pins registration discipline: init-only literal kebab names,
 // forwarding wrappers as the one exception, and lookup errors listing the
 // registry's Types().

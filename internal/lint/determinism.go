@@ -16,6 +16,19 @@ var DeterminismPathPrefixes = []string{
 	"goldfish/internal/attack",
 	"goldfish/internal/stats",
 	"goldfish/internal/data",
+	"goldfish/internal/fed",
+	"goldfish/internal/unlearn",
+	"goldfish/internal/obs",
+}
+
+// DeterminismClockAllowPaths exempts packages from the wall-clock rule ONLY
+// (map-order and shared-rand rules still apply to them). internal/obs is the
+// observability side channel: it is the one place allowed to read the clock,
+// because its output (trace events, metric snapshots) is written next to —
+// never into — the byte-compared reports. Every other report-producing
+// package must time things as obs Elapsed deltas or not at all.
+var DeterminismClockAllowPaths = []string{
+	"goldfish/internal/obs",
 }
 
 // reportProducing reports whether the import path falls under the
@@ -37,8 +50,10 @@ var DeterminismAnalyzer = &Analyzer{
 
 Scenario reports, golden fixtures and the CI smoke baseline are
 byte-compared, so packages that feed them (internal/scenario, internal/attack,
-internal/stats, internal/data) must be fully deterministic. This analyzer
-flags: calls to time.Now/time.Since; draws from math/rand's shared top-level
+internal/stats, internal/data, internal/fed, internal/unlearn) must be fully
+deterministic. This analyzer flags: calls to time.Now/time.Since — except in
+internal/obs, the observability side channel, which is the only package
+allowed to read the wall clock; draws from math/rand's shared top-level
 source (rand.New/rand.NewSource constructing a seeded generator are fine);
 map iteration whose results feed appends or output without an intervening
 sort; and map values passed to fmt formatting verbs (map print order is
@@ -94,6 +109,9 @@ func checkClockAndRand(pass *Pass, sel *ast.SelectorExpr, report func(token.Pos,
 	}
 	switch fn.Pkg().Path() {
 	case "time":
+		if reportProducing(pass.Pkg.Path, DeterminismClockAllowPaths) {
+			return // the observability side channel may read the clock
+		}
 		if fn.Name() == "Now" || fn.Name() == "Since" {
 			report(sel.Pos(), "call to time.%s in a report-producing package breaks byte-determinism (opt out with %s)",
 				fn.Name(), NondeterministicDirective)

@@ -1,0 +1,29 @@
+// Package determinismobs holds the clock-allowlist cases. It is loaded by
+// linttest under an import path inside internal/obs — the observability side
+// channel that owns the wall clock — so the time.Now/time.Since rule must
+// stay silent here while every OTHER determinism rule still fires: the
+// allowlist exempts the clock, not the package.
+package determinismobs
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// wallClock is legal under internal/obs: traces and snapshots are written
+// next to, never into, the byte-compared reports.
+func wallClock() float64 {
+	start := time.Now()
+	return time.Since(start).Seconds()
+}
+
+// sharedRand is still flagged: the clock allowlist does not blanket-exempt.
+func sharedRand() int {
+	return rand.Intn(10) // want "shared top-level math/rand source \\(rand.Intn\\)"
+}
+
+// mapOrder is still flagged: snapshot output must not leak iteration order.
+func mapOrder(m map[string]int) {
+	fmt.Println(m) // want "formatting a map with fmt.Println renders randomized iteration order"
+}

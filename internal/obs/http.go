@@ -1,0 +1,38 @@
+package obs
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+)
+
+// Handler serves the observability HTTP surface:
+//
+//	GET /healthz     → 200 with the given banner (liveness + version probe)
+//	GET /debug/vars  → the registry snapshot as pretty-printed JSON
+//	GET /debug/pprof → the standard net/http/pprof profiling endpoints
+//
+// The handler is mounted on an explicit mux and served only where a caller
+// asks for it (goldfish-server's opt-in -obs-addr flag); no goldfish binary
+// serves http.DefaultServeMux, which the net/http/pprof import also
+// populates as a side effect.
+func Handler(banner string, reg *Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintf(w, "ok %s\n", banner)
+	})
+	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		if err := reg.Snapshot().WriteJSON(w); err != nil {
+			// Headers are gone; the truncated body is the best signal left.
+			return
+		}
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

@@ -1,0 +1,297 @@
+// Package obs is the repo's stdlib-only observability layer: an instrument
+// registry (counters, gauges, fixed-bucket histograms) with a deterministic
+// snapshot API, plus span-based tracing written as JSON lines to an
+// out-of-band sink (trace.go) and an HTTP surface for live inspection
+// (http.go).
+//
+// Design contract: observability is a SIDE CHANNEL. Nothing obs computes may
+// feed the byte-compared artifacts (scenario reports, golden fixtures, the
+// CI smoke baseline) — timing lives in the trace file and the snapshot, both
+// written next to, never into, a report. That is why internal/obs is the one
+// package the determinism lint analyzer permits to read the wall clock
+// (lint.DeterminismClockAllowPaths): every other report-producing package is
+// still forbidden to call time.Now.
+//
+// All instruments are safe for concurrent use. Every entry point is
+// nil-receiver-safe, so instrumented code paths need no "is observability
+// on?" branches — a nil *Observer, *Counter or zero Span is a no-op.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing integer instrument.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one. No-op on a nil counter.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n. No-op on a nil counter.
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count (0 on nil).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a last-value float instrument.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set records v. No-op on a nil gauge.
+func (g *Gauge) Set(v float64) {
+	if g != nil {
+		g.bits.Store(math.Float64bits(v))
+	}
+}
+
+// Value returns the last recorded value (0 on nil).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram is a fixed-bucket distribution instrument: observations are
+// counted into ascending upper-bound buckets (values above the last bound
+// land in an overflow bucket). Quantiles are estimated from the bucket
+// counts, so p50/p99 resolution is the bucket granularity.
+type Histogram struct {
+	mu     sync.Mutex
+	bounds []float64 // ascending inclusive upper bounds
+	counts []int64   // len(bounds)+1; last is the overflow bucket
+	count  int64
+	sum    float64
+}
+
+// newHistogram builds a histogram over the given ascending bounds.
+func newHistogram(bounds []float64) *Histogram {
+	b := append([]float64(nil), bounds...)
+	sort.Float64s(b)
+	return &Histogram{bounds: b, counts: make([]int64, len(b)+1)}
+}
+
+// Observe records one value. No-op on a nil histogram.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v (bounds are inclusive)
+	h.counts[i]++
+	h.count++
+	h.sum += v
+}
+
+// Count returns the number of observations (0 on nil).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// snapshotLocked assembles the histogram's snapshot row. Caller holds h.mu.
+func (h *Histogram) snapshot(name string) HistogramSnapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s := HistogramSnapshot{
+		Name:     name,
+		Count:    h.count,
+		Sum:      h.sum,
+		Overflow: h.counts[len(h.counts)-1],
+		Buckets:  make([]BucketCount, len(h.bounds)),
+	}
+	for i, b := range h.bounds {
+		s.Buckets[i] = BucketCount{LE: b, Count: h.counts[i]}
+	}
+	s.P50 = s.Quantile(0.50)
+	s.P99 = s.Quantile(0.99)
+	return s
+}
+
+// BucketCount is one histogram bucket in a snapshot: Count observations at
+// or below the LE upper bound (and above the previous bucket's bound).
+type BucketCount struct {
+	LE    float64 `json:"le"`
+	Count int64   `json:"count"`
+}
+
+// HistogramSnapshot is one histogram's state in a Snapshot. P50 and P99 are
+// bucket-resolution quantile estimates (see Quantile).
+type HistogramSnapshot struct {
+	Name     string        `json:"name"`
+	Count    int64         `json:"count"`
+	Sum      float64       `json:"sum"`
+	P50      float64       `json:"p50"`
+	P99      float64       `json:"p99"`
+	Buckets  []BucketCount `json:"buckets"`
+	Overflow int64         `json:"overflow,omitempty"`
+}
+
+// Quantile estimates the q-quantile (q in [0,1]) as the upper bound of the
+// bucket holding the q·Count-th observation. Observations beyond the last
+// bound clamp to the last finite bound, so the estimate stays
+// JSON-encodable; an empty histogram reports 0.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 || len(s.Buckets) == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(q * float64(s.Count)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for _, b := range s.Buckets {
+		cum += b.Count
+		if cum >= rank {
+			return b.LE
+		}
+	}
+	return s.Buckets[len(s.Buckets)-1].LE
+}
+
+// CounterSnapshot is one counter's state in a Snapshot.
+type CounterSnapshot struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
+// GaugeSnapshot is one gauge's state in a Snapshot.
+type GaugeSnapshot struct {
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+}
+
+// Snapshot is a registry's full state at one moment. Instruments are sorted
+// by name and every field marshals in declared order, so a snapshot of a
+// fixed event sequence serializes to byte-identical JSON.
+type Snapshot struct {
+	Counters   []CounterSnapshot   `json:"counters,omitempty"`
+	Gauges     []GaugeSnapshot     `json:"gauges,omitempty"`
+	Histograms []HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// WriteJSON writes the snapshot, pretty-printed with a trailing newline.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	buf, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return fmt.Errorf("obs: encoding snapshot: %w", err)
+	}
+	buf = append(buf, '\n')
+	if _, err := w.Write(buf); err != nil {
+		return fmt.Errorf("obs: writing snapshot: %w", err)
+	}
+	return nil
+}
+
+// Registry is a named-instrument store. Lookups are get-or-create, so call
+// sites never pre-register; a histogram's bucket bounds are fixed by its
+// first lookup and later bounds arguments are ignored.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   map[string]*Counter{},
+		gauges:     map[string]*Gauge{},
+		histograms: map[string]*Histogram{},
+	}
+}
+
+// Counter returns the named counter, creating it on first use (nil on a nil
+// registry).
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use (nil on a nil
+// registry).
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given bucket
+// bounds on first use (nil on a nil registry).
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.histograms[name]
+	if !ok {
+		h = newHistogram(bounds)
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// Snapshot captures every instrument's current state, sorted by name.
+func (r *Registry) Snapshot() Snapshot {
+	if r == nil {
+		return Snapshot{}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var s Snapshot
+	for name, c := range r.counters {
+		s.Counters = append(s.Counters, CounterSnapshot{Name: name, Value: c.Value()})
+	}
+	sort.Slice(s.Counters, func(i, j int) bool { return s.Counters[i].Name < s.Counters[j].Name })
+	for name, g := range r.gauges {
+		s.Gauges = append(s.Gauges, GaugeSnapshot{Name: name, Value: g.Value()})
+	}
+	sort.Slice(s.Gauges, func(i, j int) bool { return s.Gauges[i].Name < s.Gauges[j].Name })
+	for name, h := range r.histograms {
+		s.Histograms = append(s.Histograms, h.snapshot(name))
+	}
+	sort.Slice(s.Histograms, func(i, j int) bool { return s.Histograms[i].Name < s.Histograms[j].Name })
+	return s
+}

@@ -1,0 +1,218 @@
+package obs_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"goldfish/internal/obs"
+)
+
+// TestConcurrentInstruments hammers one counter, gauge and histogram from
+// many goroutines; run under -race this is the data-race gate for the
+// instrument layer, and the totals must still be exact.
+func TestConcurrentInstruments(t *testing.T) {
+	o := obs.New(io.Discard)
+	const workers, perWorker = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				o.Counter("c").Inc()
+				o.Gauge("g").Set(float64(w))
+				o.Histogram("h", obs.MillisBuckets).Observe(float64(i % 50))
+				sp := o.StartSpan("span", obs.Int("w", w))
+				o.Event("ev", obs.Int("i", i))
+				sp.End()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := o.Counter("c").Value(); got != workers*perWorker {
+		t.Errorf("counter = %d, want %d", got, workers*perWorker)
+	}
+	if got := o.Histogram("h", nil).Count(); got != workers*perWorker {
+		t.Errorf("histogram count = %d, want %d", got, workers*perWorker)
+	}
+	if err := o.TraceErr(); err != nil {
+		t.Errorf("trace error: %v", err)
+	}
+}
+
+// TestSnapshotDeterminism replays one fixed event sequence into two fresh
+// registries and requires byte-identical snapshot JSON: map-backed storage
+// must never leak iteration order into the serialized snapshot.
+func TestSnapshotDeterminism(t *testing.T) {
+	record := func() []byte {
+		r := obs.NewRegistry()
+		for i := 0; i < 10; i++ {
+			r.Counter("fed.rounds").Inc()
+			r.Counter("unlearn.requests").Add(2)
+			r.Gauge("clients").Set(float64(5 + i))
+			r.Histogram("round_ms", obs.MillisBuckets).Observe(float64(3 * i))
+			r.Histogram("rounds_to_forget.goldfish", obs.RoundBuckets).Observe(float64(i % 4))
+		}
+		var buf bytes.Buffer
+		if err := r.Snapshot().WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a, b := record(), record()
+	if !bytes.Equal(a, b) {
+		t.Errorf("snapshots differ:\n%s\nvs\n%s", a, b)
+	}
+	var decoded obs.Snapshot
+	if err := json.Unmarshal(a, &decoded); err != nil {
+		t.Fatalf("snapshot is not valid JSON: %v", err)
+	}
+	if len(decoded.Counters) != 2 || len(decoded.Gauges) != 1 || len(decoded.Histograms) != 2 {
+		t.Errorf("snapshot shape = %d/%d/%d counters/gauges/histograms, want 2/1/2",
+			len(decoded.Counters), len(decoded.Gauges), len(decoded.Histograms))
+	}
+	if decoded.Counters[0].Name >= decoded.Counters[1].Name {
+		t.Errorf("counters not sorted: %q before %q", decoded.Counters[0].Name, decoded.Counters[1].Name)
+	}
+}
+
+// TestHistogramQuantiles pins the bucket-resolution quantile estimate the
+// SLO story (p50/p99 rounds-to-forget) is built on.
+func TestHistogramQuantiles(t *testing.T) {
+	r := obs.NewRegistry()
+	h := r.Histogram("rtf", obs.RoundBuckets)
+	for i := 0; i < 99; i++ {
+		h.Observe(2)
+	}
+	h.Observe(60) // one straggler in the (32,64] bucket
+	snap := r.Snapshot().Histograms[0]
+	if snap.P50 != 2 {
+		t.Errorf("p50 = %g, want 2", snap.P50)
+	}
+	if snap.P99 != 2 {
+		t.Errorf("p99 = %g, want 2 (99th of 100 observations is still in the 2-bucket)", snap.P99)
+	}
+	if q := snap.Quantile(1); q != 64 {
+		t.Errorf("q100 = %g, want 64", q)
+	}
+	if got := snap.Quantile(0.995); got != 64 {
+		t.Errorf("q99.5 = %g, want 64", got)
+	}
+
+	over := r.Histogram("over", []float64{1, 2})
+	over.Observe(1000)
+	os := r.Snapshot()
+	var overSnap obs.HistogramSnapshot
+	for _, hs := range os.Histograms {
+		if hs.Name == "over" {
+			overSnap = hs
+		}
+	}
+	if overSnap.Overflow != 1 {
+		t.Errorf("overflow = %d, want 1", overSnap.Overflow)
+	}
+	if q := overSnap.Quantile(0.5); q != 2 {
+		t.Errorf("overflow quantile = %g, want clamp to last bound 2", q)
+	}
+}
+
+// TestNilSafety drives every entry point through nil receivers: the
+// observability-off path must be a total no-op, never a panic.
+func TestNilSafety(t *testing.T) {
+	var o *obs.Observer
+	o.Counter("c").Inc()
+	o.Counter("c").Add(3)
+	o.Gauge("g").Set(1)
+	o.Histogram("h", obs.RoundBuckets).Observe(1)
+	sp := o.StartSpan("s", obs.Str("k", "v"))
+	sp.Child("c").End()
+	sp.End()
+	o.Event("e")
+	if o.Elapsed() != 0 {
+		t.Error("nil Elapsed != 0")
+	}
+	if err := o.TraceErr(); err != nil {
+		t.Errorf("nil TraceErr = %v", err)
+	}
+	if s := o.Snapshot(); len(s.Counters) != 0 {
+		t.Error("nil Snapshot not empty")
+	}
+	if got := o.Counter("c").Value(); got != 0 {
+		t.Errorf("nil counter value = %d", got)
+	}
+
+	// Metrics-only observer: spans are no-ops, counters still count.
+	m := obs.New(nil)
+	m.StartSpan("s").End()
+	m.Counter("c").Inc()
+	if m.Tracer() != nil {
+		t.Error("metrics-only observer should have no tracer")
+	}
+	if m.Counter("c").Value() != 1 {
+		t.Error("metrics-only counter lost its increment")
+	}
+}
+
+// TestContextPlumbing pins the ctx carrier the engine/scenario/unlearn
+// layers rely on.
+func TestContextPlumbing(t *testing.T) {
+	ctx := t.Context()
+	if got := obs.FromContext(ctx); got != nil {
+		t.Errorf("FromContext(empty) = %v, want nil", got)
+	}
+	if obs.NewContext(ctx, nil) != ctx {
+		t.Error("NewContext(nil observer) should return ctx unchanged")
+	}
+	o := obs.New(nil)
+	if got := obs.FromContext(obs.NewContext(ctx, o)); got != o {
+		t.Errorf("FromContext round-trip = %v, want %v", got, o)
+	}
+}
+
+// TestHandlerEndpoints exercises the HTTP surface: /healthz liveness,
+// /debug/vars snapshot JSON reflecting live instruments, and the pprof
+// index.
+func TestHandlerEndpoints(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("fed.rounds").Add(7)
+	srv := httptest.NewServer(obs.Handler("goldfish-test 9.9.9", reg))
+	defer srv.Close()
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, string(b)
+	}
+
+	if code, body := get("/healthz"); code != http.StatusOK || !strings.Contains(body, "goldfish-test 9.9.9") {
+		t.Errorf("/healthz = %d %q, want 200 with banner", code, body)
+	}
+	code, body := get("/debug/vars")
+	if code != http.StatusOK {
+		t.Errorf("/debug/vars = %d, want 200", code)
+	}
+	var snap obs.Snapshot
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("/debug/vars is not snapshot JSON: %v\n%s", err, body)
+	}
+	if len(snap.Counters) != 1 || snap.Counters[0].Name != "fed.rounds" || snap.Counters[0].Value != 7 {
+		t.Errorf("/debug/vars counters = %+v, want fed.rounds=7", snap.Counters)
+	}
+	if code, body := get("/debug/pprof/"); code != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Errorf("/debug/pprof/ = %d, want 200 with profile index", code)
+	}
+}

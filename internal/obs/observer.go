@@ -1,0 +1,115 @@
+package obs
+
+import (
+	"context"
+	"io"
+	"time"
+)
+
+// Standard bucket bounds. Rounds are small integers (the paper's
+// rounds-to-forget live in single digits at experiment scale); millisecond
+// buckets span sub-ms kernel phases up to minute-long cells.
+var (
+	// RoundBuckets holds round-count histogram bounds (rounds-to-forget).
+	RoundBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128}
+	// MillisBuckets holds wall-time histogram bounds in milliseconds.
+	MillisBuckets = []float64{1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000, 30000, 60000}
+)
+
+// Observer bundles the instrument registry and the span tracer behind one
+// nil-safe handle: instrumented code calls through it unconditionally, and a
+// nil Observer (observability off — the default) makes every call a no-op.
+// Attach one to a context with NewContext; the round engine, the scenario
+// matrix and the unlearning pipeline pick it up with FromContext.
+type Observer struct {
+	reg   *Registry
+	tr    *Tracer
+	start time.Time
+}
+
+// New builds an Observer with a fresh registry. When trace is non-nil, span
+// and point events are written to it as JSON lines; a nil trace keeps
+// metrics only.
+func New(trace io.Writer) *Observer {
+	o := &Observer{reg: NewRegistry(), start: time.Now()}
+	if trace != nil {
+		o.tr = NewTracer(trace)
+	}
+	return o
+}
+
+// Registry returns the instrument registry (nil on a nil observer).
+func (o *Observer) Registry() *Registry {
+	if o == nil {
+		return nil
+	}
+	return o.reg
+}
+
+// Tracer returns the span tracer (nil on a nil observer or without a trace
+// sink).
+func (o *Observer) Tracer() *Tracer {
+	if o == nil {
+		return nil
+	}
+	return o.tr
+}
+
+// Elapsed returns the monotonic time since the observer was created (0 on
+// nil). Instrumented packages time phases as Elapsed deltas so the clock
+// read stays inside obs — the only package the determinism lint permits it.
+func (o *Observer) Elapsed() time.Duration {
+	if o == nil {
+		return 0
+	}
+	return time.Since(o.start)
+}
+
+// Counter returns the named counter (nil-safe).
+func (o *Observer) Counter(name string) *Counter { return o.Registry().Counter(name) }
+
+// Gauge returns the named gauge (nil-safe).
+func (o *Observer) Gauge(name string) *Gauge { return o.Registry().Gauge(name) }
+
+// Histogram returns the named histogram (nil-safe), created with bounds on
+// first use.
+func (o *Observer) Histogram(name string, bounds []float64) *Histogram {
+	return o.Registry().Histogram(name, bounds)
+}
+
+// StartSpan opens a root span (no-op zero Span without a trace sink).
+func (o *Observer) StartSpan(name string, attrs ...Attr) Span {
+	return o.Tracer().StartSpan(name, attrs...)
+}
+
+// Event emits a point event (no-op without a trace sink).
+func (o *Observer) Event(name string, attrs ...Attr) {
+	o.Tracer().Event(name, attrs...)
+}
+
+// Snapshot captures the registry's current state.
+func (o *Observer) Snapshot() Snapshot { return o.Registry().Snapshot() }
+
+// WriteSnapshot writes the registry snapshot as pretty-printed JSON.
+func (o *Observer) WriteSnapshot(w io.Writer) error { return o.Snapshot().WriteJSON(w) }
+
+// TraceErr returns the first trace-sink write error, if any.
+func (o *Observer) TraceErr() error { return o.Tracer().Err() }
+
+// ctxKey keys the Observer in a context.
+type ctxKey struct{}
+
+// NewContext returns ctx carrying o (ctx unchanged when o is nil).
+func NewContext(ctx context.Context, o *Observer) context.Context {
+	if o == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, o)
+}
+
+// FromContext returns the context's Observer, or nil when none is attached —
+// and nil is a valid no-op receiver for every Observer method.
+func FromContext(ctx context.Context) *Observer {
+	o, _ := ctx.Value(ctxKey{}).(*Observer)
+	return o
+}

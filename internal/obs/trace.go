@@ -1,0 +1,192 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// The tracer emits one JSON object per line to its sink. Three event shapes,
+// each with its fields in this fixed order:
+//
+//	{"ev":"start","id":1,"parent":0,"name":"fed/round","t_us":12,"attrs":{"round":0}}
+//	{"ev":"end","id":1,"name":"fed/round","t_us":840,"dur_us":828}
+//	{"ev":"event","name":"unlearn/request","t_us":301,"attrs":{"client":2}}
+//
+// "parent" is 0 for root spans and "attrs" is omitted when empty. t_us is
+// microseconds of MONOTONIC time since the tracer was created — never wall
+// clock — so durations are immune to clock steps and the trace carries no
+// absolute timestamps that would differ between otherwise identical runs.
+
+// Attr is one key/value attribute on a span or event. Build them with Str,
+// Int, I64 and F64; attributes serialize in argument order.
+type Attr struct {
+	Key   string
+	Value any
+}
+
+// Str builds a string attribute.
+func Str(k, v string) Attr { return Attr{Key: k, Value: v} }
+
+// Int builds an int attribute.
+func Int(k string, v int) Attr { return Attr{Key: k, Value: v} }
+
+// I64 builds an int64 attribute.
+func I64(k string, v int64) Attr { return Attr{Key: k, Value: v} }
+
+// F64 builds a float64 attribute.
+func F64(k string, v float64) Attr { return Attr{Key: k, Value: v} }
+
+// Tracer writes span start/end and point events as JSON lines to a sink.
+// It is safe for concurrent use: each event is encoded to a private buffer
+// and written with a single Write under one mutex, so lines never interleave.
+type Tracer struct {
+	mu      sync.Mutex
+	w       io.Writer
+	err     error
+	nextID  uint64
+	elapsed func() time.Duration
+	buf     bytes.Buffer
+}
+
+// NewTracer builds a tracer over w, timing events against a monotonic base
+// anchored at the call.
+func NewTracer(w io.Writer) *Tracer {
+	start := time.Now()
+	return NewTracerWithClock(w, func() time.Duration { return time.Since(start) })
+}
+
+// NewTracerWithClock builds a tracer with an explicit elapsed-time source —
+// the seam that lets tests emit byte-reproducible traces.
+func NewTracerWithClock(w io.Writer, elapsed func() time.Duration) *Tracer {
+	return &Tracer{w: w, elapsed: elapsed}
+}
+
+// Err returns the first sink write error, if any.
+func (t *Tracer) Err() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.err
+}
+
+// Span is one traced operation: created by StartSpan/Child (which emit the
+// start event) and closed by End (which emits the end event with the
+// monotonic duration). The zero Span is a no-op.
+type Span struct {
+	t     *Tracer
+	id    uint64
+	name  string
+	start time.Duration
+}
+
+// StartSpan emits a root span start event. On a nil tracer it returns the
+// no-op zero Span.
+func (t *Tracer) StartSpan(name string, attrs ...Attr) Span {
+	return t.startSpan(0, name, attrs)
+}
+
+// Child emits a span start event parented on s. A zero receiver starts
+// nothing and returns the zero Span.
+func (s Span) Child(name string, attrs ...Attr) Span {
+	if s.t == nil {
+		return Span{}
+	}
+	return s.t.startSpan(s.id, name, attrs)
+}
+
+// End emits the span's end event. No-op on the zero Span.
+func (s Span) End() {
+	if s.t == nil {
+		return
+	}
+	t := s.t
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	now := t.elapsed()
+	t.buf.Reset()
+	fmt.Fprintf(&t.buf, `{"ev":"end","id":%d,"name":`, s.id)
+	t.appendJSON(s.name)
+	fmt.Fprintf(&t.buf, `,"t_us":%d,"dur_us":%d}`, now.Microseconds(), (now - s.start).Microseconds())
+	t.flushLine()
+}
+
+// Event emits a point event (no duration). No-op on a nil tracer.
+func (t *Tracer) Event(name string, attrs ...Attr) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.buf.Reset()
+	t.buf.WriteString(`{"ev":"event","name":`)
+	t.appendJSON(name)
+	fmt.Fprintf(&t.buf, `,"t_us":%d`, t.elapsed().Microseconds())
+	t.appendAttrs(attrs)
+	t.buf.WriteByte('}')
+	t.flushLine()
+}
+
+// startSpan assigns an id, emits the start event and returns the live span.
+func (t *Tracer) startSpan(parent uint64, name string, attrs []Attr) Span {
+	if t == nil {
+		return Span{}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.nextID++
+	id := t.nextID
+	start := t.elapsed()
+	t.buf.Reset()
+	fmt.Fprintf(&t.buf, `{"ev":"start","id":%d,"parent":%d,"name":`, id, parent)
+	t.appendJSON(name)
+	fmt.Fprintf(&t.buf, `,"t_us":%d`, start.Microseconds())
+	t.appendAttrs(attrs)
+	t.buf.WriteByte('}')
+	t.flushLine()
+	return Span{t: t, id: id, name: name, start: start}
+}
+
+// appendAttrs writes `,"attrs":{…}` in argument order (nothing when empty).
+func (t *Tracer) appendAttrs(attrs []Attr) {
+	if len(attrs) == 0 {
+		return
+	}
+	t.buf.WriteString(`,"attrs":{`)
+	for i, a := range attrs {
+		if i > 0 {
+			t.buf.WriteByte(',')
+		}
+		t.appendJSON(a.Key)
+		t.buf.WriteByte(':')
+		t.appendJSON(a.Value)
+	}
+	t.buf.WriteByte('}')
+}
+
+// appendJSON marshals one value into the event buffer, degrading to a quoted
+// error string rather than emitting a broken line.
+func (t *Tracer) appendJSON(v any) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		b, _ = json.Marshal(fmt.Sprintf("!obs: unencodable attr: %v", err))
+	}
+	t.buf.Write(b)
+}
+
+// flushLine writes the buffered event plus newline, recording the first
+// sink error. Caller holds t.mu.
+func (t *Tracer) flushLine() {
+	if t.err != nil {
+		return
+	}
+	t.buf.WriteByte('\n')
+	if _, err := t.w.Write(t.buf.Bytes()); err != nil {
+		t.err = fmt.Errorf("obs: writing trace event: %w", err)
+	}
+}

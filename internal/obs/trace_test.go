@@ -1,0 +1,121 @@
+package obs_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"goldfish/internal/obs"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// fakeClock ticks 100µs per read, so every event lands on a distinct,
+// reproducible t_us.
+func fakeClock() func() time.Duration {
+	var ticks time.Duration
+	return func() time.Duration {
+		ticks += 100 * time.Microsecond
+		return ticks
+	}
+}
+
+// TestTraceGolden pins the trace schema: one JSON object per line, stable
+// field order, parent links, attrs in argument order. Regenerate with
+//
+//	go test ./internal/obs -run TestTraceGolden -update
+func TestTraceGolden(t *testing.T) {
+	var buf bytes.Buffer
+	tr := obs.NewTracerWithClock(&buf, fakeClock())
+
+	round := tr.StartSpan("fed/round", obs.Int("round", 0))
+	train := round.Child("fed/train", obs.Int("clients", 4))
+	tr.Event("unlearn/request", obs.Int("client", 2), obs.Str("strategy", "goldfish"))
+	train.End()
+	agg := round.Child("fed/aggregate")
+	agg.End()
+	round.End()
+	tr.Event("unlearn/forgotten",
+		obs.Str("strategy", "goldfish"), obs.I64("rounds", 3), obs.F64("acc", 0.9375))
+	if err := tr.Err(); err != nil {
+		t.Fatalf("trace error: %v", err)
+	}
+
+	golden := filepath.Join("testdata", "trace.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading golden (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("trace differs from golden (rerun with -update if intended):\ngot:\n%s\nwant:\n%s", buf.Bytes(), want)
+	}
+
+	// Schema invariants, independent of the golden bytes: every line is one
+	// self-contained JSON object with the required fields for its kind.
+	lines := strings.Split(strings.TrimSuffix(buf.String(), "\n"), "\n")
+	if len(lines) != 8 {
+		t.Fatalf("got %d trace lines, want 8", len(lines))
+	}
+	starts := map[float64]bool{}
+	for i, line := range lines {
+		var ev map[string]any
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("line %d is not valid JSON: %v\n%s", i+1, err, line)
+		}
+		if _, ok := ev["t_us"]; !ok {
+			t.Errorf("line %d missing t_us: %s", i+1, line)
+		}
+		switch ev["ev"] {
+		case "start":
+			id := ev["id"].(float64)
+			starts[id] = true
+			if parent := ev["parent"].(float64); parent != 0 && !starts[parent] {
+				t.Errorf("line %d: parent %v started after child: %s", i+1, parent, line)
+			}
+		case "end":
+			if !starts[ev["id"].(float64)] {
+				t.Errorf("line %d: end without start: %s", i+1, line)
+			}
+			if _, ok := ev["dur_us"]; !ok {
+				t.Errorf("line %d: end missing dur_us: %s", i+1, line)
+			}
+		case "event":
+			if _, ok := ev["id"]; ok {
+				t.Errorf("line %d: point event must not carry an id: %s", i+1, line)
+			}
+		default:
+			t.Errorf("line %d: unknown ev %q", i+1, ev["ev"])
+		}
+	}
+}
+
+// TestTracerSinkError verifies the first write error latches and later
+// events are dropped rather than half-written.
+func TestTracerSinkError(t *testing.T) {
+	sinkErr := errors.New("disk full")
+	tr := obs.NewTracerWithClock(failWriter{sinkErr}, fakeClock())
+	sp := tr.StartSpan("s")
+	sp.End()
+	tr.Event("e")
+	if err := tr.Err(); !errors.Is(err, sinkErr) {
+		t.Errorf("Err() = %v, want wrapped %v", err, sinkErr)
+	}
+}
+
+type failWriter struct{ err error }
+
+func (f failWriter) Write(p []byte) (int, error) { return 0, f.err }

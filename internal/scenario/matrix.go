@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+
+	"goldfish/internal/obs"
 )
 
 // Cell is one point of the run matrix: a strategy trained at a seed with a
@@ -94,6 +96,7 @@ func ExecuteCells(ctx context.Context, spec Spec, cells []Cell, run Runner) ([]O
 	if workers > len(cells) {
 		workers = len(cells)
 	}
+	ob := obs.FromContext(ctx)
 	out := make([]Outcome, len(cells))
 	idx := make(chan int)
 	var wg sync.WaitGroup
@@ -103,6 +106,12 @@ func ExecuteCells(ctx context.Context, spec Spec, cells []Cell, run Runner) ([]O
 			defer wg.Done()
 			for i := range idx {
 				c := cells[i]
+				// Per-cell lifecycle goes to the observability side channel
+				// only; the outcome rows stay byte-deterministic.
+				sp := ob.StartSpan("scenario/cell",
+					obs.Str("strategy", c.Strategy), obs.I64("seed", c.Seed),
+					obs.Int("shards", c.Shards), obs.Str("attack", c.Attack))
+				t0 := ob.Elapsed()
 				var o Outcome
 				if err := ctx.Err(); err != nil {
 					o.Result.Error = err.Error()
@@ -119,6 +128,12 @@ func ExecuteCells(ctx context.Context, spec Spec, cells []Cell, run Runner) ([]O
 				}
 				o.Result.Strategy, o.Result.Seed, o.Result.Shards, o.Result.Attack = c.Strategy, c.Seed, c.Shards, c.Attack
 				out[i] = o
+				ob.Histogram("scenario.cell_ms", obs.MillisBuckets).Observe(float64((ob.Elapsed() - t0).Microseconds()) / 1e3)
+				ob.Counter("scenario.cells").Inc()
+				if o.Result.Error != "" {
+					ob.Counter("scenario.cell_errors").Inc()
+				}
+				sp.End()
 			}
 		}()
 	}

@@ -12,6 +12,7 @@ import (
 	"goldfish/internal/metrics"
 	"goldfish/internal/model"
 	"goldfish/internal/nn"
+	"goldfish/internal/obs"
 )
 
 // Config configures a Federation: the shared client setup, the unlearning
@@ -73,6 +74,14 @@ type Federation struct {
 	evalNet        *nn.Network
 	onRound        func(RoundStats)
 	pendingUnlearn bool
+
+	// obs is the observer captured from the most recent Run's context, kept
+	// so deletion requests arriving BETWEEN runs are still observed; nil is
+	// the no-op default. forgetMarks records when each pending deletion
+	// request arrived; marks settle into per-strategy rounds-to-forget /
+	// time-to-forget histograms when the recovery rounds complete.
+	obs         *obs.Observer
+	forgetMarks []forgetMark
 
 	// parts holds each participant's ORIGINAL local dataset (by current
 	// position; shifted on Add/RemoveClient), and removed records which
@@ -217,7 +226,12 @@ func (f *Federation) GlobalNet() (*nn.Network, error) {
 // Algorithm 1 lines 8–17, the retrain baselines drop the rows and restart
 // from scratch, the incompetent teacher distills the data away.
 func (f *Federation) RequestDeletion(clientID int, rows []int) error {
+	f.obs.Event("unlearn/request",
+		obs.Str("strategy", f.strategy.Name()), obs.Int("client", clientID), obs.Int("rows", len(rows)))
+	sp := f.obs.StartSpan("unlearn/forget",
+		obs.Str("strategy", f.strategy.Name()), obs.Int("client", clientID))
 	next, err := f.strategy.Forget(clientID, rows, f.engine.Global())
+	sp.End()
 	if err != nil {
 		return err
 	}
@@ -225,7 +239,48 @@ func (f *Federation) RequestDeletion(clientID int, rows []int) error {
 		f.engine.SetGlobal(next)
 	}
 	f.pendingUnlearn = true
+	f.obs.Counter("unlearn.requests").Inc()
+	f.markForget()
 	return nil
+}
+
+// forgetMark is one pending deletion request awaiting its recovery rounds:
+// round is the engine round when the request arrived, at the observer-relative
+// arrival time.
+type forgetMark struct {
+	round int
+	at    time.Duration
+}
+
+// markForget records a pending deletion request for the forgetting-latency
+// histograms. No-op without an observer (nothing would consume the mark).
+func (f *Federation) markForget() {
+	if f.obs == nil {
+		return
+	}
+	f.forgetMarks = append(f.forgetMarks, forgetMark{round: f.engine.Round(), at: f.obs.Elapsed()})
+}
+
+// settleForgetMarks resolves every pending deletion request against the
+// rounds completed so far: a request is considered forgotten once the run
+// that followed it finished, so rounds-to-forget is the recovery-round count
+// and time-to-forget the wall time from request to the end of that run. Both
+// land in per-strategy histograms (the p50/p99 forgetting-latency SLO
+// substrate) plus an unlearn/forgotten trace event each.
+func (f *Federation) settleForgetMarks() {
+	if f.obs == nil || len(f.forgetMarks) == 0 {
+		return
+	}
+	name := f.strategy.Name()
+	for _, m := range f.forgetMarks {
+		rounds := f.engine.Round() - m.round
+		ms := float64((f.obs.Elapsed() - m.at).Microseconds()) / 1e3
+		f.obs.Histogram("unlearn.rounds_to_forget."+name, obs.RoundBuckets).Observe(float64(rounds))
+		f.obs.Histogram("unlearn.time_to_forget_ms."+name, obs.MillisBuckets).Observe(ms)
+		f.obs.Event("unlearn/forgotten",
+			obs.Str("strategy", name), obs.Int("rounds", rounds), obs.F64("ms", ms))
+	}
+	f.forgetMarks = f.forgetMarks[:0]
 }
 
 // RequestDeletionRows submits a deletion request whose rows index the
@@ -399,18 +454,40 @@ func (f *Federation) RemoveClient(clientID int, unlearn bool) error {
 	if next != nil {
 		f.engine.SetGlobal(next)
 	}
+	f.obs.Event("unlearn/client_removed",
+		obs.Str("strategy", f.strategy.Name()), obs.Int("client", clientID), obs.Int("unlearn", boolInt(unlearn)))
 	if unlearn {
 		f.pendingUnlearn = true
+		f.obs.Counter("unlearn.requests").Inc()
+		f.markForget()
 	}
 	return nil
 }
 
+// boolInt encodes a bool as a 0/1 trace attribute.
+func boolInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
 // Run executes n federation rounds, invoking onRound (may be nil) after
-// each. It honours ctx cancellation.
+// each. It honours ctx cancellation. When ctx carries an obs.Observer the
+// federation keeps it (so deletion requests between runs are observed too)
+// and, on success, settles pending deletion requests into the per-strategy
+// forgetting-latency histograms.
 func (f *Federation) Run(ctx context.Context, n int, onRound func(RoundStats)) error {
+	if o := obs.FromContext(ctx); o != nil {
+		f.obs = o
+	}
 	f.onRound = onRound
 	defer func() { f.onRound = nil }()
-	return f.engine.Run(ctx, n)
+	if err := f.engine.Run(ctx, n); err != nil {
+		return err
+	}
+	f.settleForgetMarks()
+	return nil
 }
 
 // TestAccuracy evaluates the current global model on a dataset.

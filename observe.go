@@ -1,0 +1,29 @@
+package goldfish
+
+import (
+	"context"
+	"io"
+
+	"goldfish/internal/obs"
+)
+
+// Observer is the handle to the observability side channel: an instrument
+// registry (counters, gauges, histograms with a snapshot API) plus optional
+// span tracing. Observability never feeds reports — scenario and experiment
+// artifacts stay byte-deterministic with or without an Observer attached —
+// and a nil *Observer is a valid no-op receiver everywhere.
+type Observer = obs.Observer
+
+// NewObserver builds an Observer. When trace is non-nil, span start/end and
+// point events are written to it as JSON lines (one object per line); a nil
+// trace collects metrics only. Drive a run with it via WithObservability and
+// read the results with Observer.Snapshot or Observer.WriteSnapshot.
+func NewObserver(trace io.Writer) *Observer { return obs.New(trace) }
+
+// WithObservability returns ctx carrying o. The federated round engine, the
+// scenario matrix executor and the unlearning pipeline all pick the Observer
+// up from the context they run under; with none attached (or o nil) every
+// instrumentation point is a no-op.
+func WithObservability(ctx context.Context, o *Observer) context.Context {
+	return obs.NewContext(ctx, o)
+}
