@@ -49,13 +49,97 @@ func TestLintRulesMatchesSuite(t *testing.T) {
 	}
 }
 
+// TestLintRulesSortedByName pins the -lint-rules roster order: analyzer
+// names ascending, regardless of the suite's logical registration order, so
+// the output is stable for CI diffing.
+func TestLintRulesSortedByName(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-lint-rules"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-lint-rules exited %d, stderr: %s", code, stderr.String())
+	}
+	var names []string
+	for _, line := range strings.Split(stdout.String(), "\n") {
+		if line == "" || strings.HasPrefix(line, " ") || strings.HasPrefix(line, "goldfishlint analyzers") {
+			continue
+		}
+		if name, _, ok := strings.Cut(line, ": "); ok {
+			names = append(names, name)
+		}
+	}
+	if len(names) != len(lint.Suite()) {
+		t.Fatalf("-lint-rules listed %d analyzers, want %d", len(names), len(lint.Suite()))
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Errorf("-lint-rules roster not sorted by name: %q before %q", names[i-1], names[i])
+		}
+	}
+}
+
+// TestDiagnosticSortOrder pins the shared output ordering: analyzer name
+// first, then filename, line, column, message — so every output mode groups
+// by rule and CI diffs are deterministic.
+func TestDiagnosticSortOrder(t *testing.T) {
+	diags := []lint.Diagnostic{
+		{Analyzer: "registry", Pos: token.Position{Filename: "a.go", Line: 1}},
+		{Analyzer: "determinism", Pos: token.Position{Filename: "z.go", Line: 9}},
+		{Analyzer: "determinism", Pos: token.Position{Filename: "a.go", Line: 5, Column: 2}, Message: "b"},
+		{Analyzer: "determinism", Pos: token.Position{Filename: "a.go", Line: 5, Column: 2}, Message: "a"},
+		{Analyzer: "determinism", Pos: token.Position{Filename: "a.go", Line: 5, Column: 1}},
+	}
+	lint.SortDiagnostics(diags)
+	got := make([]string, len(diags))
+	for i, d := range diags {
+		got[i] = fmt.Sprintf("%s/%s:%d:%d:%s", d.Analyzer, d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Message)
+	}
+	want := []string{
+		"determinism/a.go:5:1:",
+		"determinism/a.go:5:2:a",
+		"determinism/a.go:5:2:b",
+		"determinism/z.go:9:0:",
+		"registry/a.go:1:0:",
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("sorted[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+// TestDryRunRequiresFix pins that -dry-run without -fix is a usage error.
+func TestDryRunRequiresFix(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-dry-run"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("-dry-run without -fix exited %d, want 2", code)
+	}
+	if !strings.Contains(stderr.String(), "-dry-run requires -fix") {
+		t.Errorf("stderr = %q, want the -dry-run usage message", stderr.String())
+	}
+}
+
+// TestFixDryRunCleanPackage pins the CI gate's success path: a clean package
+// has no pending mechanical fixes, so -fix -dry-run exits 0 silently.
+func TestFixDryRunCleanPackage(t *testing.T) {
+	if testing.Short() {
+		t.Skip("invokes go list -export")
+	}
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-fix", "-dry-run", "./internal/stats"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-fix -dry-run on clean package exited %d:\n%s%s", code, stdout.String(), stderr.String())
+	}
+	if stdout.Len() != 0 {
+		t.Errorf("clean -fix -dry-run printed output:\n%s", stdout.String())
+	}
+}
+
 // TestSuiteRoster pins the full analyzer roster in order, so growing or
 // shrinking the suite is an explicit, reviewed change rather than a silent
 // side effect of a refactor.
 func TestSuiteRoster(t *testing.T) {
 	want := []string{
-		"determinism", "registry", "errwrap", "concurrency",
-		"hotpathalloc", "ctxflow", "lockorder", "apisurface",
+		"determinism", "registry", "errwrap", "errdrop", "concurrency",
+		"goleak", "hotpathalloc", "ctxflow", "lockorder", "deletedflow",
+		"apisurface",
 	}
 	suite := lint.Suite()
 	if len(suite) != len(want) {

@@ -214,11 +214,16 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) (final []float64, e
 			joinBound = joinTimeout
 		}
 		var hello envelope
-		_ = conn.SetReadDeadline(time.Now().Add(joinBound)) //goldfish:nondeterministic — socket deadline, never reaches a report
-		// Unblock the handshake read early if the server is cancelled.
-		stopJoin := context.AfterFunc(ctx, func() { _ = conn.SetReadDeadline(time.Unix(1, 0)) })
+		// The bound derives from the round context rather than wall-clock
+		// arithmetic on the socket: joinCtx expires after joinBound or as
+		// soon as the server's own ctx (with any deadline it carries) is
+		// done, and either way the AfterFunc forces an already-expired
+		// read deadline so the handshake read unblocks immediately.
+		joinCtx, cancelJoin := context.WithTimeout(ctx, joinBound)
+		stopJoin := context.AfterFunc(joinCtx, func() { _ = conn.SetReadDeadline(time.Unix(1, 0)) })
 		derr := c.dec.Decode(&hello)
 		stopJoin()
+		cancelJoin()
 		if derr != nil || hello.Type != msgJoin {
 			_ = conn.Close()
 			continue // malformed joiner; keep waiting

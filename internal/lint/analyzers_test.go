@@ -53,6 +53,41 @@ func TestErrwrapUnscoped(t *testing.T) {
 	linttest.Run(t, testdata("errwrap_unscoped"), "goldfish/internal/bench/linttestdata", lint.ErrwrapAnalyzer)
 }
 
+// TestErrdrop pins the discarded-error rule inside the scoped packages:
+// blank assigns and ignored error returns are flagged; the fmt print family,
+// never-fail writers, defers and //goldfish:errok lines are not.
+func TestErrdrop(t *testing.T) {
+	linttest.Run(t, testdata("errdrop"), "goldfish/internal/scenario/linttestdata/errdrop", lint.ErrdropAnalyzer)
+}
+
+// TestErrdropUnscoped pins that the rule is silent outside ErrdropScopes.
+func TestErrdropUnscoped(t *testing.T) {
+	linttest.Run(t, testdata("errdrop_unscoped"), "goldfish/internal/bench/linttestdata/errdrop", lint.ErrdropAnalyzer)
+}
+
+// TestGoleak pins the join/cancellation-edge rule: joinless goroutines
+// (literal and named-callee through the call graph) are flagged; WaitGroup
+// Done, ctx.Done/Err, package-closed channel receives, result sends and
+// //goldfish:goleakok lines are not.
+func TestGoleak(t *testing.T) {
+	linttest.Run(t, testdata("goleak"), "goldfish/internal/lint/linttestdata/goleak", lint.GoleakAnalyzer)
+}
+
+// TestDeletedFlow pins the deletion-taint contract: original-row accessor
+// results (direct, range/append-derived, and seeded entry-point parameters)
+// reaching a training sink are flagged; remapped-through-the-chokepoint,
+// directive-suppressed and untainted flows are not.
+func TestDeletedFlow(t *testing.T) {
+	linttest.Run(t, testdata("deletedflow"), "goldfish/internal/unlearn/linttestdata/deletedflow", lint.DeletedFlowAnalyzer)
+}
+
+// TestDeletedFlowUnscoped pins that the contract is silent outside the
+// deletedflow scope (and in particular that the facade's exact-match scoping
+// does not swallow the whole module).
+func TestDeletedFlowUnscoped(t *testing.T) {
+	linttest.Run(t, testdata("deletedflow_unscoped"), "goldfish/internal/bench/linttestdata/deletedflow", lint.DeletedFlowAnalyzer)
+}
+
 // TestConcurrency pins the Scorer/Prober contract checks: unguarded aliased
 // receiver writes are flagged; mutex-guarded, atomic, read-only and
 // copy-local writes are not.

@@ -1,0 +1,301 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// This file is the intraprocedural dataflow layer under goldfishlint: a
+// def-use taint engine over one function body, built on the same
+// type-checked ASTs the call-graph layer (callgraph.go / flow.go) consumes.
+// The engine is flow-insensitive — a variable tainted anywhere in the body
+// is tainted everywhere — and iterates assignments to a fixpoint, so taint
+// follows chains like `rows := f.RemainingRows(c); uniq := append(uniq, r)`
+// without ordering sensitivity. Flow-insensitivity over-approximates, which
+// is the right direction for the contracts built on top (deletedflow): a
+// value that is even *possibly* an unremapped original-row index deserves a
+// look, and every verdict has a per-line escape directive.
+//
+// Sources, sanitizers and sinks are matched by callee NAME within an
+// analyzer-declared package scope — the same convention the registry and
+// concurrency analyzers use — so fixture packages under synthetic import
+// paths can define their own accessors and the analyzer stays decoupled
+// from any one concrete type.
+
+// taintRules parameterizes one taint analysis.
+type taintRules struct {
+	// sources names calls whose results are tainted (and which taint any
+	// value derived from them).
+	sources map[string]bool
+	// sanitizers names the declared chokepoints: a call to one returns clean
+	// values regardless of argument taint.
+	sanitizers map[string]bool
+	// sinks names calls whose arguments must be clean.
+	sinks map[string]bool
+	// taintedParams names enclosing functions whose slice-typed parameters
+	// are tainted on entry (entry points documented to receive source data).
+	taintedParams map[string]bool
+}
+
+// taintFact is the origin of one tainted value, carried for the report.
+type taintFact struct {
+	origin string
+}
+
+// funcTaint runs the taint fixpoint over one function declaration's body
+// (descending into nested function literals, so closure-captured taint
+// propagates) and returns the taint set.
+type funcTaint struct {
+	info  *types.Info
+	rules *taintRules
+	taint map[types.Object]taintFact
+}
+
+// analyzeFunc computes the taint set for decl under rules.
+func analyzeFunc(info *types.Info, rules *taintRules, decl *ast.FuncDecl) *funcTaint {
+	ft := &funcTaint{info: info, rules: rules, taint: map[types.Object]taintFact{}}
+	ft.seedParams(decl)
+	if decl.Body == nil {
+		return ft
+	}
+	// Fixpoint: each pass may extend the taint set through assignments the
+	// previous pass visited before their right-hand side became tainted. The
+	// set only grows, and is bounded by the body's object count, so this
+	// terminates; the iteration cap is pure paranoia.
+	for iter := 0; iter < 64; iter++ {
+		before := len(ft.taint)
+		ft.propagate(decl.Body)
+		if len(ft.taint) == before {
+			break
+		}
+	}
+	return ft
+}
+
+// seedParams taints the slice-typed parameters of entry points named in
+// rules.taintedParams.
+func (ft *funcTaint) seedParams(decl *ast.FuncDecl) {
+	if !ft.rules.taintedParams[decl.Name.Name] || decl.Type.Params == nil {
+		return
+	}
+	for _, field := range decl.Type.Params.List {
+		for _, name := range field.Names {
+			obj, ok := ft.info.Defs[name].(*types.Var)
+			if !ok {
+				continue
+			}
+			if _, isSlice := obj.Type().Underlying().(*types.Slice); !isSlice {
+				continue
+			}
+			ft.taint[obj] = taintFact{origin: "parameter " + name.Name + " of " + decl.Name.Name}
+		}
+	}
+}
+
+// propagate performs one pass over body, extending the taint set through
+// assignments, short declarations and range statements.
+func (ft *funcTaint) propagate(body ast.Node) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			ft.propagateAssign(s.Lhs, s.Rhs)
+		case *ast.ValueSpec:
+			lhs := make([]ast.Expr, len(s.Names))
+			for i, name := range s.Names {
+				lhs[i] = name
+			}
+			ft.propagateAssign(lhs, s.Values)
+		case *ast.RangeStmt:
+			if fact, ok := ft.exprTaint(s.X); ok {
+				ft.taintLHS(s.Key, fact)
+				ft.taintLHS(s.Value, fact)
+			}
+		}
+		return true
+	})
+}
+
+// propagateAssign taints left-hand sides whose right-hand side is tainted,
+// pairing element-wise when counts match and fanning a single tainted tuple
+// out to every destination otherwise.
+func (ft *funcTaint) propagateAssign(lhs, rhs []ast.Expr) {
+	switch {
+	case len(lhs) == len(rhs):
+		for i := range lhs {
+			if fact, ok := ft.exprTaint(rhs[i]); ok {
+				ft.taintLHS(lhs[i], fact)
+			}
+		}
+	case len(rhs) == 1:
+		if fact, ok := ft.exprTaint(rhs[0]); ok {
+			for _, l := range lhs {
+				ft.taintLHS(l, fact)
+			}
+		}
+	}
+}
+
+// taintLHS taints the object at the root of an assignment destination: a
+// plain identifier directly, an index/slice/star/selector chain through its
+// base (storing a tainted value into out[i] taints out).
+func (ft *funcTaint) taintLHS(dst ast.Expr, fact taintFact) {
+	if dst == nil {
+		return
+	}
+	obj := rootObject(ft.info, dst)
+	if obj == nil {
+		return
+	}
+	if _, ok := ft.taint[obj]; ok {
+		return // keep the first origin: deterministic, source-order
+	}
+	ft.taint[obj] = fact
+}
+
+// rootObject resolves the object at the base of an lvalue chain.
+func rootObject(info *types.Info, e ast.Expr) types.Object {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			if x.Name == "_" {
+				return nil
+			}
+			if obj, ok := info.Defs[x]; ok && obj != nil {
+				return obj
+			}
+			return info.Uses[x]
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// exprTaint reports whether the expression's value is tainted and with what
+// origin.
+func (ft *funcTaint) exprTaint(e ast.Expr) (taintFact, bool) {
+	switch x := e.(type) {
+	case *ast.Ident:
+		if obj := ft.info.Uses[x]; obj != nil {
+			if fact, ok := ft.taint[obj]; ok {
+				return fact, true
+			}
+		}
+	case *ast.CallExpr:
+		return ft.callTaint(x)
+	case *ast.ParenExpr:
+		return ft.exprTaint(x.X)
+	case *ast.StarExpr:
+		return ft.exprTaint(x.X)
+	case *ast.UnaryExpr:
+		return ft.exprTaint(x.X)
+	case *ast.IndexExpr:
+		if fact, ok := ft.exprTaint(x.X); ok {
+			return fact, true
+		}
+		return ft.exprTaint(x.Index)
+	case *ast.SliceExpr:
+		return ft.exprTaint(x.X)
+	case *ast.BinaryExpr:
+		if fact, ok := ft.exprTaint(x.X); ok {
+			return fact, true
+		}
+		return ft.exprTaint(x.Y)
+	case *ast.TypeAssertExpr:
+		return ft.exprTaint(x.X)
+	case *ast.CompositeLit:
+		for _, elt := range x.Elts {
+			if kv, ok := elt.(*ast.KeyValueExpr); ok {
+				elt = kv.Value
+			}
+			if fact, ok := ft.exprTaint(elt); ok {
+				return fact, true
+			}
+		}
+	}
+	return taintFact{}, false
+}
+
+// callTaint classifies one call: source results are tainted with the call's
+// name as origin, sanitizer results are clean regardless of arguments, and
+// any other call propagates taint from its arguments (and method receiver)
+// to its results — an unknown callee is assumed to pass data through.
+func (ft *funcTaint) callTaint(call *ast.CallExpr) (taintFact, bool) {
+	name := calleeName(ft.info, call)
+	switch {
+	case ft.rules.sources[name]:
+		return taintFact{origin: name + "()"}, true
+	case ft.rules.sanitizers[name]:
+		return taintFact{}, false
+	}
+	if sel, ok := unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if fact, ok := ft.exprTaint(sel.X); ok {
+			return fact, true
+		}
+	}
+	for _, arg := range call.Args {
+		if fact, ok := ft.exprTaint(arg); ok {
+			return fact, true
+		}
+	}
+	return taintFact{}, false
+}
+
+// sinkViolations walks decl's body and invokes report for every sink call
+// receiving a tainted argument — once per call, at the call position, with
+// the sink name and the taint origin.
+func (ft *funcTaint) sinkViolations(decl *ast.FuncDecl, report func(call *ast.CallExpr, sink string, fact taintFact)) {
+	if decl.Body == nil {
+		return
+	}
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		name := calleeName(ft.info, call)
+		if !ft.rules.sinks[name] {
+			return true
+		}
+		for _, arg := range call.Args {
+			if fact, ok := ft.exprTaint(arg); ok {
+				report(call, name, fact)
+				return true
+			}
+		}
+		return true
+	})
+}
+
+// calleeName resolves a call expression to its callee's bare name: declared
+// functions and methods through the type info, builtins (append, copy) by
+// identifier. Dynamic calls through function values return "".
+func calleeName(info *types.Info, call *ast.CallExpr) string {
+	var id *ast.Ident
+	switch fun := unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return ""
+	}
+	switch obj := info.Uses[id].(type) {
+	case *types.Func:
+		return obj.Name()
+	case *types.Builtin:
+		return obj.Name()
+	case nil:
+		return id.Name
+	}
+	return ""
+}

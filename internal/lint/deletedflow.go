@@ -1,0 +1,119 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// DeletedFlowScope lists the package-path prefixes where the deletion-taint
+// contract is enforced: the unlearning orchestration, the round engine, and
+// the baseline strategy implementations — everywhere original-dataset row
+// indices and training entry points coexist. The public engine facade
+// (package goldfish itself) is scoped by exact match in deletedFlowScoped,
+// because as a prefix it would swallow the entire module.
+var DeletedFlowScope = []string{
+	"goldfish/internal/unlearn",
+	"goldfish/internal/fed",
+	"goldfish/internal/baselines",
+}
+
+// deletedFlowScoped reports whether the package is under the deletion-taint
+// contract: the root facade exactly, or any package under DeletedFlowScope.
+func deletedFlowScoped(path string) bool {
+	return path == "goldfish" || reportProducing(path, DeletedFlowScope)
+}
+
+// deletedFlowSources names the original-row accessors: calls returning row
+// indices addressed against a participant's ORIGINAL dataset, before any
+// deletions shifted the strategy's current view.
+var deletedFlowSources = map[string]bool{
+	"Partition":            true,
+	"Partitions":           true,
+	"RemainingRows":        true,
+	"RemainingRowsOfClass": true,
+	"RowsOfClass":          true,
+}
+
+// deletedFlowSanitizers names the declared remap chokepoints: the one place
+// original-row indices are translated to the strategy's addressing
+// (consulting RowAddresser) before they may reach a training sink.
+var deletedFlowSanitizers = map[string]bool{
+	"mapRowsForStrategy": true,
+}
+
+// deletedFlowSinks names the training/aggregation entry points that must
+// never receive unremapped original-row indices.
+var deletedFlowSinks = map[string]bool{
+	"RequestDeletion": true,
+	"Forget":          true,
+	"Train":           true,
+	"TrainRound":      true,
+	"Aggregate":       true,
+}
+
+// deletedFlowTaintedParams names the entry points documented to RECEIVE
+// original-row indices from callers: their slice parameters are tainted on
+// entry, so a body that forwards them to a sink without the remap
+// chokepoint is flagged.
+var deletedFlowTaintedParams = map[string]bool{
+	"RequestDeletionRows":   true,
+	"RequestSampleDeletion": true,
+}
+
+// DeletedFlowAnalyzer statically enforces the paper's forgetting contract.
+var DeletedFlowAnalyzer = &Analyzer{
+	Name: "deletedflow",
+	Doc: `forbid unremapped original-row indices from reaching training sinks
+
+Goldfish's headline guarantee — deleted data stops influencing the global
+model — rests on every deletion being addressed correctly: row indices read
+off a participant's ORIGINAL dataset (Partition, RemainingRows,
+RemainingRowsOfClass, RowsOfClass, or the rows parameter of
+RequestDeletionRows/RequestSampleDeletion) must pass through the declared
+remap chokepoint (mapRowsForStrategy, which consults RowAddresser) before
+they reach a training or aggregation sink (RequestDeletion, Forget, Train,
+TrainRound, Aggregate). This analyzer taints original-row values with an
+intraprocedural def-use fixpoint and reports any sink call receiving a
+tainted argument, turning the forgetting guarantee into a CI-gated static
+contract instead of something only the membership-gap probes catch at
+runtime. //goldfish:deletedok on the sink line is the audited escape.`,
+	Run: runDeletedFlow,
+}
+
+func runDeletedFlow(pass *Pass) error {
+	if !deletedFlowScoped(pass.Pkg.Path) {
+		return nil
+	}
+	rules := &taintRules{
+		sources:       deletedFlowSources,
+		sanitizers:    deletedFlowSanitizers,
+		sinks:         deletedFlowSinks,
+		taintedParams: deletedFlowTaintedParams,
+	}
+	for _, file := range pass.Pkg.Files {
+		ok := directiveLines(pass.Pkg.Fset, file, DeletedOKDirective)
+		for _, decl := range file.Decls {
+			fd, isFunc := decl.(*ast.FuncDecl)
+			if !isFunc || fd.Body == nil {
+				continue
+			}
+			// The chokepoint itself handles original rows by definition;
+			// taint inside it would only re-flag its own remap plumbing.
+			if deletedFlowSanitizers[fd.Name.Name] {
+				continue
+			}
+			ft := analyzeFunc(pass.Pkg.Info, rules, fd)
+			if len(ft.taint) == 0 {
+				continue
+			}
+			ft.sinkViolations(fd, func(call *ast.CallExpr, sink string, fact taintFact) {
+				if ok[pass.Pkg.Fset.Position(call.Pos()).Line] {
+					return
+				}
+				pass.Reportf(call.Pos(),
+					"original-row indices (from %s) reach training sink %s without the remap chokepoint mapRowsForStrategy; remap to the strategy view first",
+					fact.origin, sink)
+			})
+		}
+	}
+	return nil
+}

@@ -1,0 +1,245 @@
+package lint
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/printer"
+	"go/types"
+	"strings"
+)
+
+// ErrdropScopes lists the package-path prefixes where discarding an error is
+// forbidden: the report-producing packages (whose silent failures corrupt
+// the byte-deterministic reports CI diffs) and the server/CLI surface
+// (whose silent failures strand users without a message). It composes with
+// ErrwrapScopes: errwrap shapes the errors these packages build, errdrop
+// guarantees the ones they receive are not thrown away.
+var ErrdropScopes = []string{
+	"goldfish/internal/scenario",
+	"goldfish/internal/attack",
+	"goldfish/internal/stats",
+	"goldfish/internal/obs",
+	"goldfish/cmd",
+}
+
+// ErrdropAnalyzer forbids discarded error values in the scoped packages.
+var ErrdropAnalyzer = &Analyzer{
+	Name: "errdrop",
+	Doc: `forbid discarded errors in report-producing and server packages
+
+Inside the scoped packages (scenario, attack, stats, obs, cmd/*) an
+error-typed value must be consulted, not discarded: neither assigned to
+blank (_ = f(), n, _ := g()) nor dropped as an ignored return (a bare f()
+expression statement). Print-family calls (fmt.Fprint*/Print*) and the
+documented never-fail writers (bytes.Buffer, strings.Builder) are exempt;
+defer statements are out of scope (a deferred cleanup error has no frame to
+return through). //goldfish:errok on the line is the escape for discards
+whose impossibility is documented. The -fix engine scaffolds the missing
+check.`,
+	Run: runErrdrop,
+}
+
+func runErrdrop(pass *Pass) error {
+	if !reportProducing(pass.Pkg.Path, ErrdropScopes) {
+		return nil
+	}
+	info := pass.Pkg.Info
+	for _, file := range pass.Pkg.Files {
+		ok := directiveLines(pass.Pkg.Fset, file, ErrOKDirective)
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.DeferStmt:
+				return false
+			case *ast.ExprStmt:
+				call, isCall := s.X.(*ast.CallExpr)
+				if !isCall || ok[pass.Pkg.Fset.Position(s.Pos()).Line] {
+					return true
+				}
+				if allowedErrDiscard(info, call) {
+					return true
+				}
+				if pos := errResultIndex(info, call); pos >= 0 {
+					reportDroppedCall(pass, s, call, pos)
+				}
+				return true
+			case *ast.AssignStmt:
+				if ok[pass.Pkg.Fset.Position(s.Pos()).Line] {
+					return true
+				}
+				checkBlankErrAssign(pass, s)
+				return true
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// errResultIndex returns the index of the first error-typed result of the
+// call, or -1 when no result is an error.
+func errResultIndex(info *types.Info, call *ast.CallExpr) int {
+	tv, ok := info.Types[call]
+	if !ok || tv.Type == nil {
+		return -1
+	}
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if isErrorType(t.At(i).Type()) {
+				return i
+			}
+		}
+	default:
+		if isErrorType(t) {
+			return 0
+		}
+	}
+	return -1
+}
+
+// isErrorType reports whether t is the predeclared error interface.
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+// allowedErrDiscard exempts calls whose error is conventionally ignored:
+// the fmt print family, and writes to the never-fail in-memory writers.
+func allowedErrDiscard(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	if fn.Pkg().Path() == "fmt" &&
+		(strings.HasPrefix(fn.Name(), "Print") || strings.HasPrefix(fn.Name(), "Fprint")) {
+		return true
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if ptr, isPtr := t.(*types.Pointer); isPtr {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	path, name := named.Obj().Pkg().Path(), named.Obj().Name()
+	return (path == "bytes" && name == "Buffer") || (path == "strings" && name == "Builder")
+}
+
+// checkBlankErrAssign flags assignments that discard an error into blank:
+// `_ = f()` whole-sale, and `n, _ := g()` when the blanked position is the
+// error.
+func checkBlankErrAssign(pass *Pass, s *ast.AssignStmt) {
+	info := pass.Pkg.Info
+	// Single call RHS fanning out to the LHS tuple.
+	if len(s.Rhs) == 1 && len(s.Lhs) > 1 {
+		call, isCall := s.Rhs[0].(*ast.CallExpr)
+		if !isCall {
+			return
+		}
+		tuple, isTuple := info.Types[call].Type.(*types.Tuple)
+		if !isTuple || tuple.Len() != len(s.Lhs) {
+			return
+		}
+		for i, lhs := range s.Lhs {
+			if isBlank(lhs) && isErrorType(tuple.At(i).Type()) {
+				pass.Reportf(lhs.Pos(), "error result of %s discarded into blank; handle or return it", callLabel(info, call))
+				return
+			}
+		}
+		return
+	}
+	// Element-wise assignments: flag `_ = expr` where expr is an error (or a
+	// single-error-result call).
+	if len(s.Lhs) != len(s.Rhs) {
+		return
+	}
+	for i, lhs := range s.Lhs {
+		if !isBlank(lhs) {
+			continue
+		}
+		rhs := s.Rhs[i]
+		tv, ok := info.Types[rhs]
+		if !ok || tv.Type == nil || !isErrorType(tv.Type) {
+			continue
+		}
+		if call, isCall := rhs.(*ast.CallExpr); isCall {
+			if allowedErrDiscard(info, call) {
+				continue
+			}
+			// The whole statement is `_ = call(...)`: scaffold the check.
+			if len(s.Lhs) == 1 {
+				fix := errCheckFix(pass, s, call, 0, false)
+				pass.ReportfFix(lhs.Pos(), fix, "error result of %s discarded into blank; handle or return it", callLabel(info, call))
+				continue
+			}
+		}
+		pass.Reportf(lhs.Pos(), "error value discarded into blank; handle or return it")
+	}
+}
+
+// reportDroppedCall flags a bare expression-statement call that returns an
+// error, attaching the mechanical if-err scaffold.
+func reportDroppedCall(pass *Pass, s *ast.ExprStmt, call *ast.CallExpr, errPos int) {
+	info := pass.Pkg.Info
+	multi := false
+	if tuple, ok := info.Types[call].Type.(*types.Tuple); ok && tuple.Len() > 1 {
+		multi = true
+	}
+	fix := errCheckFix(pass, s, call, errPos, multi)
+	pass.ReportfFix(s.Pos(), fix, "error result of %s dropped; handle or return it", callLabel(info, call))
+}
+
+// errCheckFix builds the mechanical repair replacing a discarded call with
+//
+//	if err := call(...); err != nil {
+//		// TODO(goldfishlint): handle this error
+//	}
+//
+// padding non-error results with blanks for multi-result callees.
+func errCheckFix(pass *Pass, stmt ast.Stmt, call *ast.CallExpr, errPos int, multi bool) SuggestedFix {
+	var src bytes.Buffer
+	if err := printer.Fprint(&src, pass.Pkg.Fset, call); err != nil {
+		// Unprintable expression: report without a fix.
+		return SuggestedFix{}
+	}
+	lhs := "err"
+	if multi {
+		tuple, _ := pass.Pkg.Info.Types[call].Type.(*types.Tuple)
+		parts := make([]string, tuple.Len())
+		for i := range parts {
+			parts[i] = "_"
+		}
+		parts[errPos] = "err"
+		lhs = strings.Join(parts, ", ")
+	}
+	indent := indentFor(pass, stmt.Pos())
+	text := fmt.Sprintf("if %s := %s; err != nil {\n%s\t// TODO(goldfishlint): handle this error\n%s}",
+		lhs, src.String(), indent, indent)
+	return SuggestedFix{
+		Message: "scaffold the missing error check",
+		Edits:   []TextEdit{pass.Edit(stmt.Pos(), stmt.End(), text)},
+	}
+}
+
+// isBlank reports whether the expression is the blank identifier.
+func isBlank(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}
+
+// callLabel renders a short name for the called function for messages.
+func callLabel(info *types.Info, call *ast.CallExpr) string {
+	if name := calleeName(info, call); name != "" {
+		return name
+	}
+	return "call"
+}

@@ -1,0 +1,245 @@
+package lint
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// This file is the goldfishlint fix engine: analyzers attach mechanical
+// SuggestedFixes (insert a directive, rename a registry literal to kebab,
+// scaffold an error check) to their diagnostics, and the CLI's -fix mode
+// applies them atomically per file — or, with -dry-run, renders the exact
+// edits as a deterministic diff without touching anything. Only edits that
+// are purely mechanical belong here: a fix must leave the code compiling and
+// must not change behaviour beyond what the diagnostic demands.
+
+// TextEdit replaces the byte range [Start, End) of Filename with NewText.
+type TextEdit struct {
+	// Filename is the file the edit applies to, exactly as recorded in the
+	// package's FileSet.
+	Filename string
+	// Start and End are byte offsets into the file's current content.
+	Start, End int
+	// NewText is the replacement, empty for a pure deletion.
+	NewText string
+}
+
+// SuggestedFix is one mechanical repair for a diagnostic: a short imperative
+// message plus the text edits that implement it. All edits of one fix are
+// applied together or not at all.
+type SuggestedFix struct {
+	// Message describes the repair, imperative mood ("rename to kebab-case").
+	Message string
+	// Edits are the text edits, any order; the applier sorts them.
+	Edits []TextEdit
+}
+
+// FixPlan is every applicable suggested fix from a diagnostic set, grouped
+// by file and ordered deterministically. Overlapping fixes are resolved in
+// favour of the earliest (position-sorted) fix; the losers are dropped and
+// counted, never half-applied.
+type FixPlan struct {
+	files   []*fileFixes
+	dropped int
+}
+
+// fileFixes is the accepted, non-overlapping edit sequence for one file,
+// sorted by start offset.
+type fileFixes struct {
+	name  string
+	edits []TextEdit
+}
+
+// PlanFixes collects the suggested fixes of the diagnostics into an
+// applicable plan. Fixes are considered in diagnostic order (Run already
+// sorts diagnostics deterministically); a fix any of whose edits overlaps an
+// already-accepted edit is dropped whole.
+func PlanFixes(diags []Diagnostic) *FixPlan {
+	plan := &FixPlan{}
+	byFile := map[string]*fileFixes{}
+	fileOf := func(name string) *fileFixes {
+		if f, ok := byFile[name]; ok {
+			return f
+		}
+		f := &fileFixes{name: name}
+		byFile[name] = f
+		plan.files = append(plan.files, f)
+		return f
+	}
+	for _, d := range diags {
+		for _, fix := range d.Fixes {
+			if !plan.accepts(fix) {
+				plan.dropped++
+				continue
+			}
+			for _, e := range fix.Edits {
+				f := fileOf(e.Filename)
+				f.edits = append(f.edits, e)
+			}
+		}
+	}
+	sort.Slice(plan.files, func(i, j int) bool { return plan.files[i].name < plan.files[j].name })
+	for _, f := range plan.files {
+		sort.Slice(f.edits, func(i, j int) bool {
+			if f.edits[i].Start != f.edits[j].Start {
+				return f.edits[i].Start < f.edits[j].Start
+			}
+			return f.edits[i].End < f.edits[j].End
+		})
+	}
+	return plan
+}
+
+// accepts reports whether fix's edits are all disjoint from the edits the
+// plan already holds (and from each other).
+func (p *FixPlan) accepts(fix SuggestedFix) bool {
+	if len(fix.Edits) == 0 {
+		return false
+	}
+	for i, e := range fix.Edits {
+		if e.Start < 0 || e.End < e.Start {
+			return false
+		}
+		for _, prev := range fix.Edits[:i] {
+			if prev.Filename == e.Filename && e.Start < prev.End && prev.Start < e.End {
+				return false
+			}
+		}
+		for _, f := range p.files {
+			if f.name != e.Filename {
+				continue
+			}
+			for _, prev := range f.edits {
+				if e.Start < prev.End && prev.Start < e.End {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// Empty reports whether the plan holds no applicable edits.
+func (p *FixPlan) Empty() bool { return len(p.files) == 0 }
+
+// NumFiles returns the number of files the plan touches.
+func (p *FixPlan) NumFiles() int { return len(p.files) }
+
+// NumEdits returns the total accepted edit count.
+func (p *FixPlan) NumEdits() int {
+	n := 0
+	for _, f := range p.files {
+		n += len(f.edits)
+	}
+	return n
+}
+
+// Dropped returns how many suggested fixes were discarded because they
+// overlapped an accepted one.
+func (p *FixPlan) Dropped() int { return p.dropped }
+
+// Apply rewrites every planned file in place. Each file is written whole via
+// a temporary file in the same directory and an atomic rename, so a crash
+// can never leave a half-edited source behind. It returns the number of
+// files changed.
+func (p *FixPlan) Apply() (int, error) {
+	changed := 0
+	for _, f := range p.files {
+		src, err := os.ReadFile(f.name)
+		if err != nil {
+			return changed, fmt.Errorf("lint: applying fixes: %w", err)
+		}
+		out, err := spliceEdits(src, f.edits)
+		if err != nil {
+			return changed, fmt.Errorf("lint: applying fixes to %s: %w", f.name, err)
+		}
+		if bytes.Equal(out, src) {
+			continue
+		}
+		info, err := os.Stat(f.name)
+		if err != nil {
+			return changed, fmt.Errorf("lint: applying fixes: %w", err)
+		}
+		tmp, err := os.CreateTemp(filepath.Dir(f.name), filepath.Base(f.name)+".fix*")
+		if err != nil {
+			return changed, fmt.Errorf("lint: applying fixes: %w", err)
+		}
+		_, werr := tmp.Write(out)
+		cerr := tmp.Close()
+		if werr == nil {
+			werr = cerr
+		}
+		if werr == nil {
+			werr = os.Chmod(tmp.Name(), info.Mode().Perm())
+		}
+		if werr == nil {
+			werr = os.Rename(tmp.Name(), f.name)
+		}
+		if werr != nil {
+			if rerr := os.Remove(tmp.Name()); rerr != nil && !os.IsNotExist(rerr) {
+				werr = fmt.Errorf("%w (and removing temp file: %v)", werr, rerr)
+			}
+			return changed, fmt.Errorf("lint: applying fixes to %s: %w", f.name, werr)
+		}
+		changed++
+	}
+	return changed, nil
+}
+
+// Diff renders the plan as a deterministic review diff without applying
+// anything: per file, a ---/+++ header then one hunk per edit showing the
+// affected whole lines. The output is byte-stable for a given source tree
+// and plan, so CI can golden it.
+func (p *FixPlan) Diff() ([]byte, error) {
+	var out bytes.Buffer
+	for _, f := range p.files {
+		src, err := os.ReadFile(f.name)
+		if err != nil {
+			return nil, fmt.Errorf("lint: diffing fixes: %w", err)
+		}
+		fmt.Fprintf(&out, "--- %s\n+++ %s (fixed)\n", f.name, f.name)
+		for _, e := range f.edits {
+			if e.End > len(src) {
+				return nil, fmt.Errorf("lint: diffing fixes: edit past end of %s", f.name)
+			}
+			lineStart := bytes.LastIndexByte(src[:e.Start], '\n') + 1
+			lineEnd := e.End
+			if i := bytes.IndexByte(src[e.End:], '\n'); i >= 0 {
+				lineEnd = e.End + i
+			} else {
+				lineEnd = len(src)
+			}
+			line := 1 + bytes.Count(src[:lineStart], []byte("\n"))
+			fmt.Fprintf(&out, "@@ line %d @@\n", line)
+			oldRegion := string(src[lineStart:lineEnd])
+			newRegion := string(src[lineStart:e.Start]) + e.NewText + string(src[e.End:lineEnd])
+			for _, l := range strings.Split(oldRegion, "\n") {
+				fmt.Fprintf(&out, "-%s\n", l)
+			}
+			for _, l := range strings.Split(newRegion, "\n") {
+				fmt.Fprintf(&out, "+%s\n", l)
+			}
+		}
+	}
+	return out.Bytes(), nil
+}
+
+// spliceEdits applies sorted, disjoint edits to src.
+func spliceEdits(src []byte, edits []TextEdit) ([]byte, error) {
+	var out bytes.Buffer
+	last := 0
+	for _, e := range edits {
+		if e.Start < last || e.End > len(src) {
+			return nil, fmt.Errorf("edit [%d,%d) out of order or past end", e.Start, e.End)
+		}
+		out.Write(src[last:e.Start])
+		out.WriteString(e.NewText)
+		last = e.End
+	}
+	out.Write(src[last:])
+	return out.Bytes(), nil
+}

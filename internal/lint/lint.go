@@ -48,6 +48,24 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
+// ReportfFix records a diagnostic carrying one mechanical SuggestedFix that
+// the -fix engine may apply.
+func (p *Pass) ReportfFix(pos token.Pos, fix SuggestedFix, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Pkg.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+		Fixes:    []SuggestedFix{fix},
+	})
+}
+
+// Edit builds a TextEdit replacing the source range [from, to) with newText,
+// resolving positions against the pass's FileSet.
+func (p *Pass) Edit(from, to token.Pos, newText string) TextEdit {
+	start, end := p.Pkg.Fset.Position(from), p.Pkg.Fset.Position(to)
+	return TextEdit{Filename: start.Filename, Start: start.Offset, End: end.Offset, NewText: newText}
+}
+
 // Diagnostic is one reported violation.
 type Diagnostic struct {
 	// Analyzer is the reporting analyzer's name.
@@ -56,6 +74,9 @@ type Diagnostic struct {
 	Pos token.Position
 	// Message describes it.
 	Message string
+	// Fixes holds the mechanical repairs the -fix engine may apply, empty
+	// when the violation needs human judgement.
+	Fixes []SuggestedFix
 }
 
 func (d Diagnostic) String() string {
@@ -68,17 +89,21 @@ func Suite() []*Analyzer {
 		DeterminismAnalyzer,
 		RegistryAnalyzer,
 		ErrwrapAnalyzer,
+		ErrdropAnalyzer,
 		ConcurrencyAnalyzer,
+		GoleakAnalyzer,
 		HotPathAllocAnalyzer,
 		CtxFlowAnalyzer,
 		LockOrderAnalyzer,
+		DeletedFlowAnalyzer,
 		APISurfaceAnalyzer,
 	}
 }
 
 // Run applies the analyzers to the packages and returns every diagnostic,
-// sorted by position then analyzer so output is deterministic. The call
-// graph over all packages is built once and shared across every pass.
+// sorted by analyzer name then position so output is deterministic and CI
+// diffs group by rule. The call graph over all packages is built once and
+// shared across every pass.
 func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 	prog := BuildProgram(pkgs)
 	var diags []Diagnostic
@@ -90,8 +115,19 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 			}
 		}
 	}
+	SortDiagnostics(diags)
+	return diags, nil
+}
+
+// SortDiagnostics orders diagnostics by analyzer name, then position, then
+// message — the deterministic order every output mode (human, -json, -fix
+// planning) shares.
+func SortDiagnostics(diags []Diagnostic) {
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
 		if a.Pos.Filename != b.Pos.Filename {
 			return a.Pos.Filename < b.Pos.Filename
 		}
@@ -101,12 +137,8 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 		if a.Pos.Column != b.Pos.Column {
 			return a.Pos.Column < b.Pos.Column
 		}
-		if a.Analyzer != b.Analyzer {
-			return a.Analyzer < b.Analyzer
-		}
 		return a.Message < b.Message
 	})
-	return diags, nil
 }
 
 // The //goldfish: directives. Each analyzer's escape hatch is a distinct
@@ -135,6 +167,18 @@ const (
 	// APIOKDirective on the package clause line opts a package out of the
 	// apisurface golden comparison — a mid-refactor escape only.
 	APIOKDirective = "//goldfish:apiok"
+	// DeletedOKDirective opts one sink call out of deletedflow — the audited
+	// escape for code that intentionally hands original-row indices to a
+	// training entry point (e.g. a strategy that declares original
+	// addressing and remaps internally).
+	DeletedOKDirective = "//goldfish:deletedok"
+	// GoleakOKDirective opts one go statement out of goleak — for deliberate
+	// process-lifetime goroutines (daemon worker pools, servers joined by
+	// Shutdown) whose lifecycle the comment must document.
+	GoleakOKDirective = "//goldfish:goleakok"
+	// ErrOKDirective opts one statement out of errdrop — for discards whose
+	// impossibility of failure is documented on the line.
+	ErrOKDirective = "//goldfish:errok"
 )
 
 // directiveLines returns the set of lines the given //goldfish: directive

@@ -128,6 +128,16 @@ func checkRegisterCall(pass *Pass, call *ast.CallExpr, enclosing *ast.FuncDecl) 
 		}
 		name, err := strconv.Unquote(lit.Value)
 		if err != nil || !kebabName.MatchString(name) {
+			if err == nil {
+				if fixed := kebabize(name); fixed != "" {
+					fix := SuggestedFix{
+						Message: "rename the registry literal to lowercase-kebab",
+						Edits:   []TextEdit{pass.Edit(lit.Pos(), lit.End(), strconv.Quote(fixed))},
+					}
+					pass.ReportfFix(lit.Pos(), fix, "registry name %s is not lowercase-kebab (want %s)", lit.Value, kebabName)
+					return
+				}
+			}
 			pass.Reportf(lit.Pos(), "registry name %s is not lowercase-kebab (want %s)", lit.Value, kebabName)
 		}
 	case inWrapper && !isLit:
@@ -137,6 +147,39 @@ func checkRegisterCall(pass *Pass, call *ast.CallExpr, enclosing *ast.FuncDecl) 
 	default:
 		pass.Reportf(call.Pos(), "%s outside init() or a Register* forwarding wrapper", fn.Name())
 	}
+}
+
+// kebabize mechanically renames a CamelCase / snake_case / spaced name to
+// lowercase-kebab, returning "" when no such rename yields a valid registry
+// name (so the diagnostic then carries no fix).
+func kebabize(name string) string {
+	var b strings.Builder
+	prevAlnum := false
+	for _, r := range name {
+		switch {
+		case r >= 'A' && r <= 'Z':
+			if prevAlnum {
+				b.WriteByte('-')
+			}
+			b.WriteRune(r - 'A' + 'a')
+			prevAlnum = false
+		case r == '_' || r == ' ' || r == '-':
+			if prevAlnum {
+				b.WriteByte('-')
+			}
+			prevAlnum = false
+		case (r >= 'a' && r <= 'z') || (r >= '0' && r <= '9'):
+			b.WriteRune(r)
+			prevAlnum = true
+		default:
+			return ""
+		}
+	}
+	out := strings.Trim(b.String(), "-")
+	if !kebabName.MatchString(out) {
+		return ""
+	}
+	return out
 }
 
 // checkLookupError requires lookup-failure errors ("unknown …") in a

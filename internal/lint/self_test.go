@@ -14,8 +14,9 @@ import (
 // these names).
 func TestSuiteNames(t *testing.T) {
 	want := []string{
-		"determinism", "registry", "errwrap", "concurrency",
-		"hotpathalloc", "ctxflow", "lockorder", "apisurface",
+		"determinism", "registry", "errwrap", "errdrop", "concurrency",
+		"goleak", "hotpathalloc", "ctxflow", "lockorder", "deletedflow",
+		"apisurface",
 	}
 	suite := lint.Suite()
 	if len(suite) != len(want) {

@@ -1,0 +1,17 @@
+// Package fixcorpus plants discarded errors for the -fix engine: the
+// mechanical repair scaffolds the missing if-err check around each. The
+// committed corpus.diff pins the byte-exact -fix -dry-run rendering and
+// corpus.go.golden pins the applied result.
+package fixcorpus
+
+import "errors"
+
+func fail() error { return errors.New("boom") }
+
+func count() (int, error) { return 0, errors.New("boom") }
+
+func drops() {
+	fail()
+	count()
+	_ = fail()
+}

@@ -1,0 +1,12 @@
+// Package fixcorpus plants a joinless goroutine for the -fix engine: the
+// mechanical repair inserts the //goldfish:goleakok directive line above it
+// with a TODO for the lifecycle note. The committed corpus.diff pins the
+// byte-exact -fix -dry-run rendering and corpus.go.golden the applied result.
+package fixcorpus
+
+func spawn() {
+	go func() {
+		for {
+		}
+	}()
+}

@@ -1,0 +1,17 @@
+// Package fixcorpus plants non-kebab registry literals for the -fix engine:
+// the mechanical repair renames them to lowercase-kebab. The committed
+// corpus.diff pins the byte-exact -fix -dry-run rendering and
+// corpus.go.golden pins the applied result.
+package fixcorpus
+
+var registry = map[string]func() int{}
+
+// Register records a factory under name.
+func Register(name string, factory func() int) {
+	registry[name] = factory
+}
+
+func init() {
+	Register("IncompetentTeacher", func() int { return 1 })
+	Register("label_flip", func() int { return 2 })
+}

@@ -1,0 +1,76 @@
+// Package fixture exercises the deletedflow deletion-taint contract. The
+// original-row accessors, the remap chokepoint and the training sinks are
+// plain methods matched by NAME, mirroring the unlearn.Federation shape, so
+// the fixture needs no dependency on the real packages.
+package fixture
+
+type fed struct{ parts [][]int }
+
+// RemainingRows is an original-row source by name.
+func (f *fed) RemainingRows(client int) []int { return f.parts[client] }
+
+// RowsOfClass is an original-row source by name.
+func (f *fed) RowsOfClass(class int) []int { return f.parts[class] }
+
+// mapRowsForStrategy is the declared remap chokepoint by name: values
+// returned from it are clean regardless of argument taint.
+func (f *fed) mapRowsForStrategy(client int, rows []int) []int {
+	out := make([]int, len(rows))
+	copy(out, rows)
+	return out
+}
+
+// RequestDeletion and Forget are training sinks by name.
+func (f *fed) RequestDeletion(client int, rows []int) error { return nil }
+
+func (f *fed) Forget(client int, rows []int, global []float64) error { return nil }
+
+// direct hands a source result straight to a sink: the planted unremapped
+// original-row read reaching a training entry point.
+func direct(f *fed) error {
+	rows := f.RemainingRows(0)
+	return f.RequestDeletion(0, rows) // want "original-row indices .from RemainingRows... reach training sink RequestDeletion"
+}
+
+// derived taints through a range loop and append before the sink.
+func derived(f *fed) error {
+	var picked []int
+	for _, r := range f.RowsOfClass(1) {
+		if r%2 == 0 {
+			picked = append(picked, r)
+		}
+	}
+	return f.Forget(1, picked, nil) // want "original-row indices .from RowsOfClass... reach training sink Forget"
+}
+
+// remapped routes the rows through the chokepoint: clean.
+func remapped(f *fed) error {
+	rows := f.RemainingRows(0)
+	return f.RequestDeletion(0, f.mapRowsForStrategy(0, rows))
+}
+
+// RequestDeletionRows receives ORIGINAL rows from callers, so its slice
+// parameter is tainted on entry; forwarding it unremapped is flagged.
+func (f *fed) RequestDeletionRows(client int, rows []int) error {
+	uniq := append([]int(nil), rows...)
+	return f.RequestDeletion(client, uniq) // want "original-row indices .from parameter rows of RequestDeletionRows. reach training sink RequestDeletion"
+}
+
+// RequestSampleDeletion is the fixed shape of the same entry point: the
+// chokepoint launders the parameter before the sink.
+func (f *fed) RequestSampleDeletion(client int, rows []int) error {
+	mapped := f.mapRowsForStrategy(client, rows)
+	return f.RequestDeletion(client, mapped)
+}
+
+// suppressed carries the audited escape hatch on the sink line.
+func suppressed(f *fed) error {
+	rows := f.RemainingRows(2)
+	return f.RequestDeletion(2, rows) //goldfish:deletedok — audited: this strategy addresses original rows itself
+}
+
+// clean never touches an original-row source: sinks accept local data.
+func clean(f *fed) error {
+	local := []int{1, 2, 3}
+	return f.RequestDeletion(0, local)
+}

@@ -1,0 +1,16 @@
+// Package fixture plants the same unremapped source-to-sink flow as the
+// deletedflow fixture, but loads under an import path outside
+// DeletedFlowScope: the analyzer must stay silent (no want comments — any
+// diagnostic fails the test).
+package fixture
+
+type fed struct{ parts [][]int }
+
+func (f *fed) RemainingRows(client int) []int { return f.parts[client] }
+
+func (f *fed) RequestDeletion(client int, rows []int) error { return nil }
+
+func unscoped(f *fed) error {
+	rows := f.RemainingRows(0)
+	return f.RequestDeletion(0, rows)
+}

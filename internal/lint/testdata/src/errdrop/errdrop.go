@@ -1,0 +1,75 @@
+// Package fixture exercises the errdrop discarded-error contract inside the
+// scoped packages: blank assignments and ignored error returns are flagged;
+// the fmt print family, never-fail in-memory writers, defer statements and
+// //goldfish:errok lines are exempt.
+package fixture
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strings"
+)
+
+func fail() error { return errors.New("boom") }
+
+func count() (int, error) { return 0, errors.New("boom") }
+
+func pair() (int, int) { return 1, 2 }
+
+// dropAssign discards a sole error result into blank.
+func dropAssign() {
+	_ = fail() // want "error result of fail discarded into blank; handle or return it"
+}
+
+// dropExpr ignores a returned error entirely.
+func dropExpr() {
+	fail() // want "error result of fail dropped; handle or return it"
+}
+
+// dropExprMulti ignores the error of a multi-result call.
+func dropExprMulti() {
+	count() // want "error result of count dropped; handle or return it"
+}
+
+// dropTupleBlank blanks the error position of a fanned-out tuple.
+func dropTupleBlank() int {
+	n, _ := count() // want "error result of count discarded into blank; handle or return it"
+	return n
+}
+
+// allowed exercises the conventional exemptions.
+func allowed() {
+	fmt.Println("hello")
+	var b bytes.Buffer
+	b.WriteString("x")
+	var sb strings.Builder
+	sb.WriteString("y")
+	a, _ := pair() // blanking a non-error is fine
+	_ = a
+}
+
+// handled consults the error: clean.
+func handled() error {
+	if err := fail(); err != nil {
+		return err
+	}
+	n, err := count()
+	if err != nil {
+		return err
+	}
+	_ = n
+	return nil
+}
+
+// deferred cleanup has no frame to return through: out of scope.
+func deferred(b *bytes.Buffer) {
+	defer fail()
+	defer func() { fail() }()
+	_ = b
+}
+
+// suppressed documents the impossibility on the line.
+func suppressed() {
+	_ = fail() //goldfish:errok — fixture stand-in that can never fail here
+}

@@ -1,0 +1,13 @@
+// Package fixture discards errors exactly like the errdrop fixture, but
+// loads under an import path outside ErrdropScopes: the analyzer must stay
+// silent (no want comments — any diagnostic fails the test).
+package fixture
+
+import "errors"
+
+func fail() error { return errors.New("boom") }
+
+func unscoped() {
+	_ = fail()
+	fail()
+}

@@ -1,0 +1,93 @@
+// Package fixture exercises the goleak join/cancellation-edge contract:
+// every go statement needs visible termination evidence (WaitGroup Done,
+// ctx.Done/Err, receive over a package-closed channel, or a result send the
+// spawner receives) or the //goldfish:goleakok directive.
+package fixture
+
+import (
+	"context"
+	"sync"
+)
+
+// leak spawns with no evidence at all.
+func leak() {
+	go func() { // want "goroutine has no join or cancellation edge"
+		for {
+		}
+	}()
+}
+
+// wgJoined carries a WaitGroup Done in the body.
+func wgJoined() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+	}()
+	wg.Wait()
+}
+
+// ctxCancelled consults ctx.Done, so cancellation reaches it.
+func ctxCancelled(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+	}()
+}
+
+// ctxErrPolled consults ctx.Err inside its loop: same cancellation edge.
+func ctxErrPolled(ctx context.Context) {
+	go func() {
+		for ctx.Err() == nil {
+		}
+	}()
+}
+
+// feed is closed by the package below, so ranging over it terminates.
+var feed = make(chan int)
+
+func rangesClosedChan() {
+	go func() {
+		for range feed {
+		}
+	}()
+}
+
+func closeFeed() { close(feed) }
+
+// resultJoined sends its result on a channel the spawner receives from.
+func resultJoined() int {
+	out := make(chan int)
+	go func() {
+		out <- 42
+	}()
+	return <-out
+}
+
+// pump is a named callee with no termination evidence: the call-graph layer
+// supplies its body, and the go statement is flagged.
+func pump() {
+	for {
+	}
+}
+
+func spawnsPump() {
+	go pump() // want "goroutine has no join or cancellation edge"
+}
+
+// watch consults its context, so spawning it by name is clean.
+func watch(ctx context.Context) {
+	<-ctx.Done()
+}
+
+func spawnsWatch(ctx context.Context) {
+	go watch(ctx)
+}
+
+// daemon documents a deliberate process-lifetime goroutine with the escape.
+func daemon() {
+	//goldfish:goleakok — process-lifetime metronome, dies with the process
+	go func() {
+		for {
+		}
+	}()
+}

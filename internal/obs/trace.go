@@ -174,7 +174,12 @@ func (t *Tracer) appendAttrs(attrs []Attr) {
 func (t *Tracer) appendJSON(v any) {
 	b, err := json.Marshal(v)
 	if err != nil {
-		b, _ = json.Marshal(fmt.Sprintf("!obs: unencodable attr: %v", err))
+		b, err = json.Marshal(fmt.Sprintf("!obs: unencodable attr: %v", err))
+		if err != nil {
+			// Unreachable — a plain string always encodes — but degrading to
+			// a fixed literal beats discarding the error or a broken line.
+			b = []byte(`"!obs: unencodable attr"`)
+		}
 	}
 	t.buf.Write(b)
 }

@@ -313,21 +313,7 @@ func (f *Federation) RequestDeletionRows(clientID int, rows []int) error {
 	}
 	sort.Ints(uniq)
 
-	mapped := uniq
-	if ra, ok := f.strategy.(RowAddresser); !ok || !ra.AddressesOriginalRows() {
-		// Current-view index of original row r: r minus the number of
-		// already-removed original rows before it.
-		removedSorted := make([]int, 0, len(rem))
-		for r := range rem {
-			removedSorted = append(removedSorted, r)
-		}
-		sort.Ints(removedSorted)
-		mapped = make([]int, len(uniq))
-		for i, r := range uniq {
-			shift := sort.SearchInts(removedSorted, r)
-			mapped[i] = r - shift
-		}
-	}
+	mapped := f.mapRowsForStrategy(clientID, uniq)
 	if err := f.RequestDeletion(clientID, mapped); err != nil {
 		return err
 	}
@@ -335,6 +321,31 @@ func (f *Federation) RequestDeletionRows(clientID int, rows []int) error {
 		rem[r] = true
 	}
 	return nil
+}
+
+// mapRowsForStrategy is the declared remap chokepoint between original-row
+// addressing and the strategy's view: every original-dataset row index must
+// pass through here before it reaches a training sink (the deletedflow
+// analyzer enforces this statically). Strategies that declare original
+// addressing via RowAddresser receive the rows unchanged; for everyone else
+// each original row r maps to its current-view index — r minus the number
+// of already-removed original rows before it.
+func (f *Federation) mapRowsForStrategy(clientID int, rows []int) []int {
+	if ra, ok := f.strategy.(RowAddresser); ok && ra.AddressesOriginalRows() {
+		return rows
+	}
+	rem := f.removed[clientID]
+	removedSorted := make([]int, 0, len(rem))
+	for r := range rem {
+		removedSorted = append(removedSorted, r)
+	}
+	sort.Ints(removedSorted)
+	mapped := make([]int, len(rows))
+	for i, r := range rows {
+		shift := sort.SearchInts(removedSorted, r)
+		mapped[i] = r - shift
+	}
+	return mapped
 }
 
 // RemainingRows returns the not-yet-removed original row indices of
