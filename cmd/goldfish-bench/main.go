@@ -23,6 +23,14 @@
 // The pseudo-experiment "scenario" runs a declarative experiment matrix
 // from a -config spec file through goldfish.RunScenario, the same path the
 // goldfish-scenario command uses; -json then writes the scenario report.
+//
+// The pseudo-experiment "serve" runs the unlearning-as-a-service SLO
+// benchmark: a federation with the deletion-request service attached,
+// driven by the deterministic -profile load generator (steady, burst,
+// interleaved, idle, or serverless for the no-service baseline); -json
+// writes the SLO report (the repo persists these as SLO_*.json):
+//
+//	goldfish-bench -exp serve -scale tiny -profile burst -json SLO_1.json
 package main
 
 import (
@@ -47,15 +55,18 @@ func main() {
 
 func run() int {
 	var (
-		list   = flag.Bool("list", false, "list available experiments and exit")
-		exp    = flag.String("exp", "", "experiment id to run, or \"all\"")
-		scale  = flag.String("scale", "small", "experiment scale: tiny|small|medium|paper")
-		seed   = flag.Int64("seed", 1, "random seed")
-		round  = flag.Int("rounds", 0, "override round budget (0 = per-scale default)")
-		rates  = flag.String("rates", "", "comma-separated deletion rates in percent (e.g. 2,6,12)")
-		out    = flag.String("out", "", "also append reports to this file")
-		jsonP  = flag.String("json", "", "write the machine-readable performance report (BENCH_*.json) here")
-		cfgP   = flag.String("config", "", "scenario spec file for -exp scenario")
+		list  = flag.Bool("list", false, "list available experiments and exit")
+		exp   = flag.String("exp", "", "experiment id to run, or \"all\"")
+		scale = flag.String("scale", "small", "experiment scale: tiny|small|medium|paper")
+		seed  = flag.Int64("seed", 1, "random seed")
+		round = flag.Int("rounds", 0, "override round budget (0 = per-scale default)")
+		rates = flag.String("rates", "", "comma-separated deletion rates in percent (e.g. 2,6,12)")
+		out   = flag.String("out", "", "also append reports to this file")
+		jsonP = flag.String("json", "", "write the machine-readable performance report (BENCH_*.json) here")
+		cfgP  = flag.String("config", "", "scenario spec file for -exp scenario")
+		prof  = flag.String("profile", "steady",
+			"load profile for -exp serve: steady|burst|interleaved|idle, or serverless for the no-service baseline")
+		qcap   = flag.Int("queue-cap", 0, "deletion-queue capacity for -exp serve (0 = default)")
 		traceP = flag.String("trace", "", "write a JSONL span trace of the run to this path (side channel; reports stay byte-identical)")
 		obsOut = flag.String("obs", "", "write the metrics snapshot (counters/histograms JSON) to this path after the run")
 		ver    = flag.Bool("version", false, "print the version and exit")
@@ -122,6 +133,8 @@ func run() int {
 		return runPerf(sink, opts, []string{"table3"}, nil, *jsonP, observer)
 	case "scenario":
 		return runScenario(sink, *cfgP, *jsonP, observer)
+	case "serve":
+		return runServe(sink, opts, *prof, *qcap, *jsonP, observer)
 	default:
 		e, err := bench.ByID(*exp)
 		if err != nil {
@@ -186,6 +199,30 @@ func runScenario(sink io.Writer, cfgPath, jsonPath string, observer *goldfish.Ob
 	if err := rep.Complete(); err != nil {
 		fmt.Fprintf(os.Stderr, "goldfish-bench: incomplete matrix: %v\n", err)
 		return 1
+	}
+	return 0
+}
+
+// runServe executes the unlearning-as-a-service SLO benchmark, prints the
+// text summary, and writes the JSON artifact when a path is given.
+func runServe(sink io.Writer, opts bench.Options, profile string, queueCap int, jsonPath string, observer *goldfish.Observer) int {
+	rep, err := bench.RunServe(bench.ServeOptions{
+		Options:  opts,
+		Profile:  profile,
+		QueueCap: queueCap,
+		Observer: observer,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "goldfish-bench: serve: %v\n", err)
+		return 1
+	}
+	fmt.Fprint(sink, rep.RenderText())
+	if jsonPath != "" {
+		if err := rep.WriteJSON(jsonPath); err != nil {
+			fmt.Fprintf(os.Stderr, "goldfish-bench: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(sink, "wrote %s\n", jsonPath)
 	}
 	return 0
 }

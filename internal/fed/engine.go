@@ -66,6 +66,12 @@ type EngineConfig struct {
 	// carries a defensive copy of the global vector, so callbacks may
 	// retain or mutate it freely.
 	OnRound func(RoundInfo)
+	// BeforeRound, when set, runs at the start of every round, before client
+	// sampling — the round boundary where batched deletion requests fold
+	// into the model (see internal/serve). It may mutate the engine (e.g.
+	// SetGlobal, membership changes through the owning layer); a returned
+	// error aborts the run.
+	BeforeRound func(ctx context.Context, round int) error
 }
 
 // Engine runs federation rounds over a Transport: every round it samples
@@ -112,14 +118,26 @@ func NewEngine(cfg EngineConfig, initial []float64, trans Transport) (*Engine, e
 }
 
 // Global returns a copy of the current global parameters.
+//
+//goldfish:coldpath — accessor; the copy is its contract, called between rounds
 func (e *Engine) Global() []float64 { return append([]float64(nil), e.global...) }
 
 // SetGlobal replaces the global parameters (the deletion lifecycle
 // reinitializes the model between rounds through this).
+//
+//goldfish:coldpath — deletion lifecycle, once per unlearning round boundary
 func (e *Engine) SetGlobal(g []float64) { e.global = append([]float64(nil), g...) }
 
 // Round returns the number of completed rounds.
 func (e *Engine) Round() int { return e.round }
+
+// SetBeforeRound installs (or replaces) the round-boundary hook after
+// construction. Layers built on top of the engine (the unlearning
+// federation's deletion service) are created after the engine exists, so the
+// hook must be attachable late. Not safe to call while a Run is in flight.
+func (e *Engine) SetBeforeRound(fn func(ctx context.Context, round int) error) {
+	e.cfg.BeforeRound = fn
+}
 
 // Run executes n rounds. It honours ctx cancellation between and during
 // rounds.
@@ -184,6 +202,12 @@ func (e *Engine) RunRound(ctx context.Context) (err error) {
 		}
 		span.End()
 	}()
+
+	if e.cfg.BeforeRound != nil {
+		if herr := e.cfg.BeforeRound(ctx, e.round); herr != nil {
+			return fmt.Errorf("fed: round %d: before-round hook: %w", e.round, herr)
+		}
+	}
 
 	sampleSpan := span.Child("fed/sample")
 	phase := o.Elapsed()
@@ -308,6 +332,8 @@ func (t *LocalTransport) NumClients() int { return len(t.trainers) }
 func (t *LocalTransport) Append(tr LocalTrainer) { t.trainers = append(t.trainers, tr) }
 
 // Remove deletes trainer i (a client leaving between rounds).
+//
+//goldfish:coldpath — membership change, once per departing client
 func (t *LocalTransport) Remove(i int) error {
 	if i < 0 || i >= len(t.trainers) {
 		return fmt.Errorf("fed: trainer %d out of range [0,%d)", i, len(t.trainers))

@@ -97,12 +97,52 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	return &Server{cfg: cfg}, nil
 }
 
-// clientConn is one connected client with its gob codecs.
+// clientConn is one connected client with its gob codecs. After the join
+// handshake a single reader goroutine owns the decoder for the connection's
+// lifetime (see startReader); rounds receive envelopes through inbox.
 type clientConn struct {
 	id   int
 	conn net.Conn
 	enc  *gob.Encoder
 	dec  *gob.Decoder
+
+	// inbox carries decoded envelopes from the reader goroutine; it is
+	// closed when the reader exits, after which readErr holds the decode
+	// failure (the channel close orders the write before any receive).
+	inbox   chan envelope
+	readErr error
+	// done, closed by Serve on shutdown, releases a reader parked on an
+	// inbox send.
+	done chan struct{}
+}
+
+// startReader starts the connection's single reader goroutine. Every
+// inbound envelope is decoded here and only here, with no read deadline, so
+// a round deadline expiring never aborts a decode mid-message: the gob
+// stream stays framed on message boundaries, and a straggler dropped in one
+// round has its late update decoded whole and discarded by a later round's
+// collector — the client rejoins instead of being lost to a corrupted
+// stream. Serve unblocks the decode on shutdown by closing the connection.
+//
+//goldfish:coldpath — once per connection (join, or first use of a test-assembled transport)
+func (c *clientConn) startReader() {
+	c.inbox = make(chan envelope, 1)
+	c.done = make(chan struct{})
+	go func() {
+		defer close(c.inbox)
+		for {
+			var env envelope
+			if err := c.dec.Decode(&env); err != nil {
+				c.readErr = err
+				return
+			}
+			select {
+			case c.inbox <- env:
+			case <-c.done:
+				return
+			}
+		}
+	}()
 }
 
 // tcpTransport adapts the connected clients to the round Engine.
@@ -117,13 +157,19 @@ func (t *tcpTransport) NumClients() int { return len(t.clients) }
 
 // ExecuteRound implements Transport: broadcast the global model to the
 // sampled clients, then collect one update from each before the round
-// deadline.
+// deadline (carried by ctx). Stale updates from earlier rounds — a dropped
+// straggler finally responding — are consumed and discarded here, which is
+// what lets that client take part in the current round again.
 func (t *tcpTransport) ExecuteRound(ctx context.Context, round int, participants []int, global []float64) []RoundResult {
-	deadline, hasDeadline := ctx.Deadline()
 	results := make([]RoundResult, len(participants)) //goldfish:allocok — result set escapes to the engine
 	var wg sync.WaitGroup
 	for k, idx := range participants {
 		c := t.clients[idx]
+		if c.inbox == nil {
+			// Transports assembled without Serve (tests, custom wiring)
+			// get their reader goroutine on first use.
+			c.startReader()
+		}
 		results[k].Index = idx
 		if err := c.enc.Encode(envelope{Type: msgTrain, Round: round, Params: global}); err != nil {
 			results[k].Err = fmt.Errorf("fed: round %d: sending model to client %d: %w", round, c.id, err)
@@ -132,38 +178,35 @@ func (t *tcpTransport) ExecuteRound(ctx context.Context, round int, participants
 		wg.Add(1)
 		go func(k int, c *clientConn) {
 			defer wg.Done()
-			if hasDeadline {
-				_ = c.conn.SetReadDeadline(deadline)
-			} else {
-				// No round bound was configured: honour that by blocking
-				// until the client responds. Inventing a deadline here would
-				// drop slow-but-healthy clients the server asked to wait for.
-				_ = c.conn.SetReadDeadline(time.Time{})
-			}
-			// Either way, cancelling ctx (shutdown, SIGINT) must unblock the
-			// read immediately rather than waiting out any deadline.
-			stop := context.AfterFunc(ctx, func() { _ = c.conn.SetReadDeadline(time.Unix(1, 0)) })
-			defer stop()
 			for {
-				var env envelope
-				if err := c.dec.Decode(&env); err != nil {
-					results[k].Err = fmt.Errorf("fed: round %d: reading update from client %d: %w", round, c.id, err)
+				select {
+				case env, ok := <-c.inbox:
+					if !ok {
+						results[k].Err = fmt.Errorf("fed: round %d: reading update from client %d: %w", round, c.id, c.readErr)
+						return
+					}
+					if env.Type == msgError {
+						results[k].Err = fmt.Errorf("fed: round %d: client %d failed: %s", round, c.id, env.Error)
+						return
+					}
+					if env.Type != msgUpdate {
+						results[k].Err = fmt.Errorf("fed: round %d: client %d sent %d, want update", round, c.id, env.Type)
+						return
+					}
+					if env.Update.Round != round {
+						// A straggler that was dropped in an earlier round
+						// delivered its stale update late; discard it and keep
+						// receiving — the next envelope is this round's.
+						continue
+					}
+					u := env.Update
+					u.ClientID = c.id
+					results[k].Update = u
+					return
+				case <-ctx.Done():
+					results[k].Err = fmt.Errorf("fed: round %d: waiting for update from client %d: %w", round, c.id, ctx.Err())
 					return
 				}
-				if env.Type != msgUpdate {
-					results[k].Err = fmt.Errorf("fed: round %d: client %d sent %d, want update", round, c.id, env.Type)
-					return
-				}
-				if env.Update.Round != round {
-					// A straggler that was dropped in an earlier round
-					// delivered its stale update late; discard it and keep
-					// reading so the stream re-synchronizes.
-					continue
-				}
-				u := env.Update
-				u.ClientID = c.id
-				results[k].Update = u
-				return
 			}
 		}(k, c)
 	}
@@ -188,53 +231,53 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) (final []float64, e
 	clients := make([]*clientConn, 0, s.cfg.NumClients)
 	defer func() {
 		for _, c := range clients {
-			_ = c.conn.Close()
+			close(c.done)      // release a reader parked on an inbox send
+			_ = c.conn.Close() // unblock a decode in progress
+		}
+	}()
+
+	// Handshakes run one goroutine per connection, so a slow or malformed
+	// joiner (port scanner, wedged peer) burns only its own join bound and
+	// never head-of-line-blocks the other clients. The accept loop keeps
+	// accepting until the listener closes (Serve's deferred Close); joinCtx
+	// ends the admission window, after which late handshakes close their
+	// connections instead of delivering them.
+	joinCtx, cancelJoin := context.WithCancel(ctx)
+	defer cancelJoin()
+	joined := make(chan *clientConn)
+	acceptErr := make(chan error, 1)
+	go func() {
+		for {
+			conn, aerr := ln.Accept()
+			if aerr != nil {
+				select {
+				case acceptErr <- aerr:
+				default:
+				}
+				return
+			}
+			go s.handshake(joinCtx, conn, joined)
 		}
 	}()
 
 	for len(clients) < s.cfg.NumClients {
-		conn, aerr := ln.Accept()
-		if aerr != nil {
+		select {
+		case c := <-joined:
+			c.id = len(clients)
+			if werr := c.enc.Encode(envelope{Type: msgJoinAck, Client: c.id}); werr != nil {
+				_ = c.conn.Close()
+				continue // joiner vanished between handshake and ack; keep waiting
+			}
+			c.startReader()
+			clients = append(clients, c)
+		case aerr := <-acceptErr:
 			if ctx.Err() != nil {
 				return nil, fmt.Errorf("fed: cancelled while waiting for clients: %w", ctx.Err())
 			}
 			return nil, fmt.Errorf("fed: accept: %w", aerr)
 		}
-		c := &clientConn{
-			id:   len(clients),
-			conn: conn,
-			enc:  gob.NewEncoder(conn),
-			dec:  gob.NewDecoder(conn),
-		}
-		// The join handshake is always bounded, even when rounds are not:
-		// an unauthenticated peer that connects and sends nothing (port
-		// scanner, health check) must not wedge the sequential accept loop.
-		joinBound := s.cfg.RoundTimeout
-		if joinBound <= 0 {
-			joinBound = joinTimeout
-		}
-		var hello envelope
-		// The bound derives from the round context rather than wall-clock
-		// arithmetic on the socket: joinCtx expires after joinBound or as
-		// soon as the server's own ctx (with any deadline it carries) is
-		// done, and either way the AfterFunc forces an already-expired
-		// read deadline so the handshake read unblocks immediately.
-		joinCtx, cancelJoin := context.WithTimeout(ctx, joinBound)
-		stopJoin := context.AfterFunc(joinCtx, func() { _ = conn.SetReadDeadline(time.Unix(1, 0)) })
-		derr := c.dec.Decode(&hello)
-		stopJoin()
-		cancelJoin()
-		if derr != nil || hello.Type != msgJoin {
-			_ = conn.Close()
-			continue // malformed joiner; keep waiting
-		}
-		_ = conn.SetReadDeadline(time.Time{})
-		if werr := c.enc.Encode(envelope{Type: msgJoinAck, Client: c.id}); werr != nil {
-			_ = conn.Close()
-			continue
-		}
-		clients = append(clients, c)
 	}
+	cancelJoin() // roster full: stop admitting
 
 	engine, err := NewEngine(EngineConfig{
 		Aggregator:     s.cfg.Aggregator,
@@ -254,12 +297,57 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) (final []float64, e
 	}
 
 	global := engine.Global()
-	for _, c := range clients {
-		if werr := c.enc.Encode(envelope{Type: msgDone, Params: global}); werr != nil {
-			return nil, fmt.Errorf("fed: sending final model to client %d: %w", c.id, werr)
-		}
+	if err := s.distributeFinal(clients, global); err != nil {
+		return nil, err
 	}
 	return global, nil
+}
+
+// handshake performs one connection's join exchange: bounded read of the
+// msgJoin hello, then delivery to the accept owner. The bound derives from
+// the join context rather than wall-clock arithmetic on the socket: hctx
+// expires after the join bound or as soon as ctx is done, and either way
+// the AfterFunc forces an already-expired read deadline so the read
+// unblocks immediately. A connection that fails the handshake, or completes
+// it after the roster filled, is closed here.
+//
+//goldfish:coldpath — once per joining connection, before any round runs
+func (s *Server) handshake(ctx context.Context, conn net.Conn, joined chan<- *clientConn) {
+	joinBound := s.cfg.RoundTimeout
+	if joinBound <= 0 {
+		joinBound = joinTimeout
+	}
+	hctx, cancel := context.WithTimeout(ctx, joinBound)
+	defer cancel()
+	stopJoin := context.AfterFunc(hctx, func() { _ = conn.SetReadDeadline(time.Unix(1, 0)) })
+	c := &clientConn{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}
+	var hello envelope
+	derr := c.dec.Decode(&hello)
+	stopJoin()
+	if derr != nil || hello.Type != msgJoin {
+		_ = conn.Close()
+		return
+	}
+	_ = conn.SetReadDeadline(time.Time{})
+	select {
+	case joined <- c:
+	case <-ctx.Done():
+		_ = conn.Close()
+	}
+}
+
+// distributeFinal fans the final global model out to every client. A failed
+// write must not starve the remaining clients of their msgDone — each
+// delivery is attempted regardless of earlier failures and the errors are
+// joined.
+func (s *Server) distributeFinal(clients []*clientConn, global []float64) error {
+	var errs []error
+	for _, c := range clients {
+		if werr := c.enc.Encode(envelope{Type: msgDone, Params: global}); werr != nil {
+			errs = append(errs, fmt.Errorf("fed: sending final model to client %d: %w", c.id, werr))
+		}
+	}
+	return errors.Join(errs...)
 }
 
 func (s *Server) broadcastError(clients []*clientConn, msg string) {

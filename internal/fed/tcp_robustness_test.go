@@ -1,0 +1,317 @@
+package fed
+
+import (
+	"bytes"
+	"context"
+	"encoding/gob"
+	"net"
+	"strings"
+	"testing"
+	"time"
+)
+
+// dribbleClient is a hand-rolled wire client whose gob encoding goes through
+// a buffer first, so tests control exactly how many bytes of a message reach
+// the server and when — the tool for reproducing mid-message straggler
+// drops.
+type dribbleClient struct {
+	conn net.Conn
+	buf  bytes.Buffer
+	enc  *gob.Encoder
+	dec  *gob.Decoder
+}
+
+func dialDribble(t *testing.T, addr string) *dribbleClient {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = conn.Close() })
+	c := &dribbleClient{conn: conn, dec: gob.NewDecoder(conn)}
+	c.enc = gob.NewEncoder(&c.buf)
+	return c
+}
+
+// send encodes env and writes all of its bytes at once.
+func (c *dribbleClient) send(t *testing.T, env envelope) {
+	t.Helper()
+	if err := c.enc.Encode(env); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	if _, err := c.conn.Write(c.buf.Bytes()); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	c.buf.Reset()
+}
+
+// sendSplit encodes env, writes the first half of its bytes, waits for the
+// release signal, then writes the rest. Between the two writes the server's
+// decoder sits mid-message.
+func (c *dribbleClient) sendSplit(t *testing.T, env envelope, release <-chan struct{}) {
+	t.Helper()
+	if err := c.enc.Encode(env); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	raw := c.buf.Bytes()
+	half := len(raw) / 2
+	if half == 0 {
+		t.Fatal("message too short to split")
+	}
+	if _, err := c.conn.Write(raw[:half]); err != nil {
+		t.Fatalf("write first half: %v", err)
+	}
+	<-release
+	if _, err := c.conn.Write(raw[half:]); err != nil {
+		t.Fatalf("write second half: %v", err)
+	}
+	c.buf.Reset()
+}
+
+func (c *dribbleClient) recv(t *testing.T) envelope {
+	t.Helper()
+	var env envelope
+	if err := c.dec.Decode(&env); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	return env
+}
+
+// TestTCPStragglerRejoinsAfterDrop is the regression test for the stream
+// corruption on straggler drop: client B delivers only half of its round-0
+// update before the round deadline, so round 0 completes without it while
+// the server's decoder is mid-message. Once B finishes the write, the update
+// must be decoded whole and discarded as stale — and B must participate in
+// rounds 1 and 2 normally. (The old implementation aborted the in-flight
+// decode via a read deadline, leaving partial bytes consumed; the re-sync
+// read then decoded garbage and the client was lost for good.)
+func TestTCPStragglerRejoinsAfterDrop(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rounds := make(chan RoundInfo, 3)
+	srv, err := NewServer(ServerConfig{
+		Rounds:       3,
+		NumClients:   2,
+		MinClients:   1,
+		Initial:      []float64{0},
+		RoundTimeout: 500 * time.Millisecond,
+		OnRound:      func(ri RoundInfo) { rounds <- ri },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	serverDone := make(chan struct{})
+	var serverErr error
+	go func() {
+		defer close(serverDone)
+		_, serverErr = srv.Serve(ctx, ln)
+	}()
+
+	addr := ln.Addr().String()
+
+	// Client A: a healthy stub participating in every round.
+	clientADone := make(chan error, 1)
+	go func() {
+		tr := &stubTrainer{id: 0, params: []float64{1}, samples: 10}
+		_, err := RunClient(ctx, addr, tr)
+		clientADone <- err
+	}()
+
+	// Client B: the straggler, driven from this goroutine.
+	release := make(chan struct{})
+	clientBDone := make(chan error, 1)
+	go func() {
+		defer close(clientBDone)
+		b := dialDribble(t, addr)
+		b.send(t, envelope{Type: msgJoin})
+		ack := b.recv(t)
+		if ack.Type != msgJoinAck {
+			t.Errorf("join reply type = %d, want ack", ack.Type)
+			return
+		}
+		id := ack.Client
+
+		train0 := b.recv(t)
+		if train0.Type != msgTrain || train0.Round != 0 {
+			t.Errorf("first message = type %d round %d, want train round 0", train0.Type, train0.Round)
+			return
+		}
+		// Deliver only half of the round-0 update, hold until round 0 has
+		// completed without us, then deliver the rest (now stale).
+		b.sendSplit(t, envelope{Type: msgUpdate, Update: ModelUpdate{
+			ClientID: id, Round: 0, Params: []float64{2}, NumSamples: 10,
+		}}, release)
+
+		// Rounds 1 and 2: respond promptly like a recovered client.
+		for want := 1; want <= 2; want++ {
+			env := b.recv(t)
+			if env.Type != msgTrain || env.Round != want {
+				t.Errorf("message = type %d round %d, want train round %d", env.Type, env.Round, want)
+				return
+			}
+			b.send(t, envelope{Type: msgUpdate, Update: ModelUpdate{
+				ClientID: id, Round: env.Round, Params: []float64{2}, NumSamples: 10,
+			}})
+		}
+		if fin := b.recv(t); fin.Type != msgDone {
+			t.Errorf("final message type = %d, want done", fin.Type)
+		}
+	}()
+
+	// Round 0 must complete with B dropped at the deadline.
+	var ri RoundInfo
+	select {
+	case ri = <-rounds:
+	case <-ctx.Done():
+		t.Fatal("timed out waiting for round 0")
+	}
+	if len(ri.Updates) != 1 || len(ri.Dropped) != 1 {
+		t.Fatalf("round 0: %d updates, dropped %v; want 1 update and 1 dropped straggler",
+			len(ri.Updates), ri.Dropped)
+	}
+	close(release) // B finishes its stale write and rejoins
+
+	// Rounds 1 and 2 must aggregate both clients again.
+	for want := 1; want <= 2; want++ {
+		select {
+		case ri = <-rounds:
+		case <-ctx.Done():
+			t.Fatalf("timed out waiting for round %d", want)
+		}
+		if ri.Round != want {
+			t.Fatalf("round = %d, want %d", ri.Round, want)
+		}
+		if len(ri.Updates) != 2 {
+			t.Errorf("round %d: %d updates, want 2 (straggler should have rejoined)", want, len(ri.Updates))
+		}
+	}
+
+	<-serverDone
+	if serverErr != nil {
+		t.Fatalf("server failed: %v", serverErr)
+	}
+	if err := <-clientADone; err != nil {
+		t.Fatalf("client A failed: %v", err)
+	}
+	<-clientBDone
+}
+
+// TestTCPFinalFanOutDeliversToAll checks the msgDone fan-out: a failed write
+// to one client must not stop delivery to the others, and the failures must
+// be reported joined rather than first-only.
+func TestTCPFinalFanOutDeliversToAll(t *testing.T) {
+	mk := func(id int) (*clientConn, net.Conn) {
+		server, client := net.Pipe()
+		return &clientConn{id: id, conn: server, enc: gob.NewEncoder(server), dec: gob.NewDecoder(server)}, client
+	}
+	c0, peer0 := mk(0)
+	c1, peer1 := mk(1)
+	c2, peer2 := mk(2)
+	_ = peer1.Close() // client 1 is gone; writes to it fail
+	_ = c1.conn.Close()
+
+	got := make(chan []float64, 2)
+	for _, peer := range []net.Conn{peer0, peer2} {
+		go func(peer net.Conn) {
+			var env envelope
+			if err := gob.NewDecoder(peer).Decode(&env); err != nil {
+				t.Errorf("peer decode: %v", err)
+				got <- nil
+				return
+			}
+			got <- env.Params
+		}(peer)
+	}
+
+	s := &Server{}
+	err := s.distributeFinal([]*clientConn{c0, c1, c2}, []float64{42})
+	if err == nil {
+		t.Fatal("expected an error for the closed client")
+	}
+	if !strings.Contains(err.Error(), "client 1") {
+		t.Errorf("error %q does not identify client 1", err)
+	}
+
+	for i := 0; i < 2; i++ {
+		select {
+		case params := <-got:
+			if len(params) != 1 || params[0] != 42 {
+				t.Errorf("delivered params = %v, want [42]", params)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("a healthy client never received the final model")
+		}
+	}
+}
+
+// TestTCPJoinNotBlockedBySilentPeer checks that the join handshake runs
+// per-connection: a peer that connects first and never sends its hello must
+// not head-of-line-block the real clients, which join and complete the whole
+// federation while the silent peer is still inside its own join bound.
+func TestTCPJoinNotBlockedBySilentPeer(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServer(ServerConfig{
+		Rounds:     2,
+		NumClients: 2,
+		Initial:    []float64{0},
+		// Also the join bound: far longer than the whole test should take.
+		RoundTimeout: 30 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 25*time.Second)
+	defer cancel()
+
+	// The silent peer connects first and sends nothing.
+	silent, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = silent.Close() }()
+
+	serverDone := make(chan error, 1)
+	go func() {
+		_, err := srv.Serve(ctx, ln)
+		serverDone <- err
+	}()
+
+	start := time.Now()
+	clientDone := make(chan error, 2)
+	for i := 0; i < 2; i++ {
+		go func(i int) {
+			tr := &stubTrainer{id: i, params: []float64{float64(i + 1)}, samples: 10}
+			_, err := RunClient(ctx, ln.Addr().String(), tr)
+			clientDone <- err
+		}(i)
+	}
+	for i := 0; i < 2; i++ {
+		select {
+		case err := <-clientDone:
+			if err != nil {
+				t.Fatalf("client failed: %v", err)
+			}
+		case <-ctx.Done():
+			t.Fatal("timed out waiting for clients (join blocked by silent peer?)")
+		}
+	}
+	if err := <-serverDone; err != nil {
+		t.Fatalf("server failed: %v", err)
+	}
+	// With the old sequential join this took the full join bound (30s);
+	// concurrent handshakes finish in milliseconds. Leave generous slack for
+	// loaded CI machines while still catching a head-of-line block.
+	if elapsed := time.Since(start); elapsed > 20*time.Second {
+		t.Errorf("federation took %v; the silent peer head-of-line-blocked the join", elapsed)
+	}
+}

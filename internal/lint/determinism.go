@@ -19,6 +19,7 @@ var DeterminismPathPrefixes = []string{
 	"goldfish/internal/fed",
 	"goldfish/internal/unlearn",
 	"goldfish/internal/obs",
+	"goldfish/internal/serve",
 }
 
 // DeterminismClockAllowPaths exempts packages from the wall-clock rule ONLY

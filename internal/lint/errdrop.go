@@ -20,6 +20,7 @@ var ErrdropScopes = []string{
 	"goldfish/internal/attack",
 	"goldfish/internal/stats",
 	"goldfish/internal/obs",
+	"goldfish/internal/serve",
 	"goldfish/cmd",
 }
 

@@ -15,9 +15,14 @@ import (
 // The handler is mounted on an explicit mux and served only where a caller
 // asks for it (goldfish-server's opt-in -obs-addr flag); no goldfish binary
 // serves http.DefaultServeMux, which the net/http/pprof import also
-// populates as a side effect.
-func Handler(banner string, reg *Registry) http.Handler {
+// populates as a side effect. Extra mounts let callers co-host their own
+// endpoints on the same mux (goldfish-server -serve mounts the deletion
+// service's /unlearn surface this way).
+func Handler(banner string, reg *Registry, mounts ...func(*http.ServeMux)) http.Handler {
 	mux := http.NewServeMux()
+	for _, mount := range mounts {
+		mount(mux)
+	}
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintf(w, "ok %s\n", banner)

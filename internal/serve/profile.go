@@ -1,0 +1,161 @@
+package serve
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Load profiles: deterministic deletion-request generators for the SLO
+// harness (`goldfish-bench -exp serve`). A profile, given a round number,
+// yields the requests "arriving" at that round boundary; the same seed
+// yields the same request stream, so load runs are reproducible while the
+// measured latencies stay a side channel.
+
+// ProfileConfig shapes a generated request stream.
+type ProfileConfig struct {
+	// Clients is the federation's participant count at the start.
+	Clients int
+	// RowsPerClient holds each participant's original dataset size.
+	RowsPerClient []int
+	// Classes is the label-class count.
+	Classes int
+	// Seed drives row/client selection. Same seed, same stream.
+	Seed int64
+	// Rate is the sample-request count per round for the steady and
+	// interleaved profiles. Defaults to 2.
+	Rate int
+	// BurstRound is the boundary the burst profile fires at. Defaults to 2.
+	BurstRound int
+	// BurstSize is the burst profile's request count. Defaults to 12
+	// (harnesses size it past the queue capacity to exercise backpressure).
+	BurstSize int
+}
+
+// Profile generates one named load profile's request stream.
+type Profile struct {
+	name string
+	cfg  ProfileConfig
+	rng  *rand.Rand
+	// used tracks rows already requested per client, so the stream never
+	// asks to delete the same row twice (which the federation rejects).
+	used []map[int]bool
+	// removedLast counts client removals issued so far; the interleaved
+	// profile always removes the current LAST position, so no other
+	// client's position shifts.
+	removedLast int
+	classesDone int
+}
+
+// ProfileNames lists the available profiles.
+func ProfileNames() []string {
+	return []string{"idle", "steady", "burst", "interleaved"}
+}
+
+// NewProfile builds a named profile ("idle", "steady", "burst",
+// "interleaved") over the given federation shape.
+func NewProfile(name string, cfg ProfileConfig) (*Profile, error) {
+	switch name {
+	case "idle", "steady", "burst", "interleaved":
+	default:
+		return nil, fmt.Errorf("serve: unknown load profile %q (have %v)", name, ProfileNames())
+	}
+	if cfg.Clients <= 0 || len(cfg.RowsPerClient) != cfg.Clients {
+		return nil, fmt.Errorf("serve: profile needs Clients and one RowsPerClient entry each, got %d/%d",
+			cfg.Clients, len(cfg.RowsPerClient))
+	}
+	if cfg.Rate <= 0 {
+		cfg.Rate = 2
+	}
+	if cfg.BurstRound <= 0 {
+		cfg.BurstRound = 2
+	}
+	if cfg.BurstSize <= 0 {
+		cfg.BurstSize = 12
+	}
+	p := &Profile{
+		name: name,
+		cfg:  cfg,
+		rng:  rand.New(rand.NewSource(cfg.Seed*7919 + 17)),
+		used: make([]map[int]bool, cfg.Clients),
+	}
+	for i := range p.used {
+		p.used[i] = map[int]bool{}
+	}
+	return p, nil
+}
+
+// Name returns the profile's name.
+func (p *Profile) Name() string { return p.name }
+
+// Requests returns the deletion requests arriving at the given round
+// boundary, in a deterministic order.
+func (p *Profile) Requests(round int) []Request {
+	switch p.name {
+	case "idle":
+		return nil
+	case "steady":
+		return p.sampleRequests(p.cfg.Rate)
+	case "burst":
+		if round != p.cfg.BurstRound {
+			return nil
+		}
+		return p.sampleRequests(p.cfg.BurstSize)
+	case "interleaved":
+		reqs := p.sampleRequests(p.cfg.Rate)
+		// Every third boundary from round 2: alternate a class deletion
+		// with a client removal, the paper's mixed-workload shape.
+		if round >= 2 && (round-2)%3 == 0 {
+			if (round-2)%6 == 0 && p.classesDone < p.cfg.Classes {
+				reqs = append(reqs, Request{Kind: KindClass, Class: p.classesDone})
+				p.classesDone++
+			} else if last := p.cfg.Clients - 1 - p.removedLast; last >= 1 {
+				// Keep at least one participant; removing the last
+				// position never shifts anyone else's.
+				reqs = append(reqs, Request{Kind: KindClient, Client: last})
+				p.removedLast++
+			}
+		}
+		return reqs
+	}
+	return nil
+}
+
+// sampleRequests draws n sample-deletion requests over fresh rows.
+func (p *Profile) sampleRequests(n int) []Request {
+	var reqs []Request
+	live := p.cfg.Clients - p.removedLast
+	for i := 0; i < n; i++ {
+		client := p.rng.Intn(live)
+		rows := p.freshRows(client, 1+p.rng.Intn(2))
+		if len(rows) == 0 {
+			continue // client exhausted; thin the stream rather than error
+		}
+		reqs = append(reqs, Request{Kind: KindSample, Client: client, Rows: rows})
+	}
+	return reqs
+}
+
+// freshRows picks up to n not-yet-requested rows of a client, marking them
+// used.
+func (p *Profile) freshRows(client, n int) []int {
+	free := make([]int, 0, p.cfg.RowsPerClient[client])
+	for r := 0; r < p.cfg.RowsPerClient[client]; r++ {
+		if !p.used[client][r] {
+			free = append(free, r)
+		}
+	}
+	if len(free) == 0 {
+		return nil
+	}
+	if n > len(free) {
+		n = len(free)
+	}
+	p.rng.Shuffle(len(free), func(i, j int) { free[i], free[j] = free[j], free[i] })
+	rows := append([]int(nil), free[:n]...)
+	sort.Ints(rows)
+	for _, r := range rows {
+		p.used[client][r] = true
+	}
+	return rows
+}

@@ -206,6 +206,15 @@ func (f *Federation) Client(i int) *core.Client {
 // Round returns the number of completed rounds.
 func (f *Federation) Round() int { return f.engine.Round() }
 
+// SetBeforeRound installs (or replaces) the engine's round-boundary hook:
+// it runs at the start of every round, before client sampling, and may
+// submit deletion requests or change membership — the attachment point for
+// the batching deletion service (internal/serve). Not safe to call while a
+// Run is in flight.
+func (f *Federation) SetBeforeRound(fn func(ctx context.Context, round int) error) {
+	f.engine.SetBeforeRound(fn)
+}
+
 // Global returns a copy of the current global state vector.
 func (f *Federation) Global() []float64 { return f.engine.Global() }
 
